@@ -1,0 +1,9 @@
+"""Benchmark-suite configuration.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+``-s`` shows the regenerated paper tables.  Scale via REPRO_BENCH_INSTS /
+REPRO_BENCH_WARMUP / REPRO_BENCH_SEED (see benchmarks/figdata.py).
+"""

@@ -1,0 +1,178 @@
+"""Shared experiment driver for the per-figure benchmarks.
+
+Every figure bench pulls its simulation results from here; results are
+memoised per session so that, e.g., Figures 4, 5 and 6 (three views of the
+same three-filter comparison) run the simulations once.
+
+Scale knobs (environment variables):
+
+* ``REPRO_BENCH_INSTS``  — instructions per run (default 150_000),
+* ``REPRO_BENCH_WARMUP`` — measurement warmup (default 40% of the budget),
+* ``REPRO_BENCH_SEED``   — workload seed (default 0).
+
+The paper ran 300M instructions per benchmark on SimpleScalar; these
+defaults keep the full harness around ten minutes of pure-Python simulation
+while leaving every mechanism exercised.  Absolute numbers move with scale;
+the shapes the benches assert do not.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Tuple
+
+from repro.analysis.sweep import run_workload
+from repro.common.config import FilterKind, SimulationConfig
+from repro.core.simulator import SimulationResult
+from repro.mem.cache import FillSource
+from repro.workloads import workload_names
+
+N_INSTS = int(os.environ.get("REPRO_BENCH_INSTS", 150_000))
+WARMUP = int(os.environ.get("REPRO_BENCH_WARMUP", int(N_INSTS * 0.4)))
+SEED = int(os.environ.get("REPRO_BENCH_SEED", 0))
+
+BENCHES: List[str] = workload_names()
+
+_cache: Dict[tuple, object] = {}
+
+
+def base_config(l1_kb: int = 8) -> SimulationConfig:
+    if l1_kb == 8:
+        cfg = SimulationConfig.paper_default()
+    elif l1_kb == 32:
+        cfg = SimulationConfig.paper_32kb()
+    elif l1_kb == 16:
+        cfg = SimulationConfig.paper_16kb()
+    else:
+        raise ValueError(f"unsupported L1 size {l1_kb}KB")
+    return cfg.with_warmup(WARMUP)
+
+
+def run(workload: str, config: SimulationConfig) -> SimulationResult:
+    key = ("run", workload, config)
+    if key not in _cache:
+        _cache[key] = run_workload(workload, config, N_INSTS, SEED)
+    return _cache[key]
+
+
+# ----------------------------------------------------------------------
+# Figure families
+# ----------------------------------------------------------------------
+def filter_comparison(l1_kb: int = 8) -> Dict[str, Dict[FilterKind, SimulationResult]]:
+    """none/PA/PC on every benchmark — feeds Figures 4-9."""
+    key = ("cmp", l1_kb)
+    if key not in _cache:
+        cfg = base_config(l1_kb)
+        out: Dict[str, Dict[FilterKind, SimulationResult]] = {}
+        for name in BENCHES:
+            out[name] = {
+                kind: run(name, cfg.with_filter(kind=kind))
+                for kind in (FilterKind.NONE, FilterKind.PA, FilterKind.PC)
+            }
+        _cache[key] = out
+    return _cache[key]
+
+
+def no_prefetch_results() -> Dict[str, SimulationResult]:
+    """Prefetching disabled entirely — feeds Table 2."""
+    key = ("nopf",)
+    if key not in _cache:
+        cfg = base_config().with_prefetch(nsp=False, sdp=False, software=False)
+        _cache[key] = {
+            name: run_workload(name, cfg, N_INSTS, SEED, software_prefetch=False)
+            for name in BENCHES
+        }
+    return _cache[key]
+
+
+def history_size_sweep() -> Dict[str, Dict[int, SimulationResult]]:
+    """PA filter with 1K..16K-entry tables — feeds Figures 10-12."""
+    key = ("hist",)
+    if key not in _cache:
+        cfg = base_config().with_filter(kind=FilterKind.PA)
+        out = {}
+        for name in BENCHES:
+            out[name] = {
+                entries: run(name, cfg.with_filter(table_entries=entries))
+                for entries in (1024, 2048, 4096, 8192, 16384)
+            }
+        _cache[key] = out
+    return _cache[key]
+
+
+def port_sweep() -> Dict[str, Dict[int, SimulationResult]]:
+    """PA filter with 3/4/5 L1 ports — feeds Figures 13-14."""
+    key = ("ports",)
+    if key not in _cache:
+        out = {}
+        for name in BENCHES:
+            out[name] = {
+                p: run(name, SimulationConfig.paper_ports(p, FilterKind.PA).with_warmup(WARMUP))
+                for p in (3, 4, 5)
+            }
+        _cache[key] = out
+    return _cache[key]
+
+
+def buffer_comparison() -> Dict[str, Dict[Tuple[FilterKind, bool], SimulationResult]]:
+    """PA/PC with and without the 16-entry prefetch buffer — Figures 15-16."""
+    key = ("buffer",)
+    if key not in _cache:
+        cfg = base_config()
+        out = {}
+        for name in BENCHES:
+            row = {}
+            for kind in (FilterKind.PA, FilterKind.PC):
+                row[(kind, False)] = run(name, cfg.with_filter(kind=kind))
+                row[(kind, True)] = run(name, cfg.with_filter(kind=kind).with_buffer())
+            out[name] = row
+        _cache[key] = out
+    return _cache[key]
+
+
+def per_prefetcher_results() -> Dict[str, Dict[str, Dict[FilterKind, SimulationResult]]]:
+    """NSP-only and SDP-only machines, filtered and not — Section 5.2.1 text."""
+    key = ("persrc",)
+    if key not in _cache:
+        out: Dict[str, Dict[str, Dict[FilterKind, SimulationResult]]] = {"nsp": {}, "sdp": {}}
+        for label, overrides in (
+            ("nsp", dict(sdp=False, software=False)),
+            ("sdp", dict(nsp=False, software=False)),
+        ):
+            cfg = base_config().with_prefetch(**overrides)
+            for name in BENCHES:
+                out[label][name] = {
+                    kind: run(name, cfg.with_filter(kind=kind))
+                    for kind in (FilterKind.NONE, FilterKind.PA)
+                }
+        _cache[key] = out
+    return _cache[key]
+
+
+def oracle_results() -> Dict[str, SimulationResult]:
+    """Two-pass oracle elimination — Section 3 motivation."""
+    key = ("oracle",)
+    if key not in _cache:
+        cfg = base_config(8).with_filter(kind=FilterKind.ORACLE)
+        _cache[key] = {name: run_workload(name, cfg, N_INSTS, SEED) for name in BENCHES}
+    return _cache[key]
+
+
+def sixteen_kb_results() -> Dict[str, SimulationResult]:
+    """16KB L1, no filter — the Section 5.2.1 'bigger cache instead' ablation."""
+    key = ("16kb",)
+    if key not in _cache:
+        cfg = base_config(16)
+        _cache[key] = {name: run(name, cfg) for name in BENCHES}
+    return _cache[key]
+
+
+# ----------------------------------------------------------------------
+# Common derived metrics
+# ----------------------------------------------------------------------
+def total_tally(result: SimulationResult):
+    return result.prefetch
+
+
+def source_tally(result: SimulationResult, source: FillSource):
+    return result.per_source[source]

@@ -1,0 +1,60 @@
+"""Ablation — the full filter design space on one polluted benchmark.
+
+Compares every filter in the library (none / PA / PC / hybrid-or /
+hybrid-and / adaptive / static / oracle) on em3d, the pollution-dominated
+benchmark where filtering matters most.  Verifies the expected ordering:
+the oracle bounds everything from above; every realisable filter lands
+between no-filtering and the oracle on bad-prefetch elimination.
+"""
+
+import figdata
+import pytest
+from repro.analysis.report import Table
+from repro.analysis.sweep import run_oracle, run_static
+from repro.common.config import FilterKind
+from repro.core.simulator import Simulator
+from repro.filters.hybrid import HybridFilter
+from repro.workloads import cached_trace
+
+WORKLOAD = "em3d"
+
+
+def _zoo():
+    cfg = figdata.base_config()
+    trace = cached_trace(WORKLOAD, figdata.N_INSTS, figdata.SEED, True)
+    results = {
+        "none": figdata.run(WORKLOAD, cfg),
+        "pa": figdata.run(WORKLOAD, cfg.with_filter(kind=FilterKind.PA)),
+        "pc": figdata.run(WORKLOAD, cfg.with_filter(kind=FilterKind.PC)),
+        "adaptive": figdata.run(WORKLOAD, cfg.with_filter(kind=FilterKind.ADAPTIVE)),
+        "hybrid-or": Simulator(cfg, filter_=HybridFilter(policy="or")).run(trace),
+        "hybrid-and": Simulator(cfg, filter_=HybridFilter(policy="and")).run(trace),
+        "static": run_static(trace, cfg),
+        "oracle": run_oracle(trace, cfg),
+    }
+    return results
+
+
+@pytest.mark.ablation
+def test_ablation_filter_zoo(benchmark):
+    results = benchmark.pedantic(_zoo, rounds=1, iterations=1)
+
+    table = Table(
+        f"Ablation — every filter on {WORKLOAD}",
+        ["filter", "IPC", "good", "bad", "filtered"],
+        mean_row=False,
+    )
+    for label, r in results.items():
+        t = r.prefetch
+        table.add_row(label, [r.ipc, float(t.good), float(t.bad), float(t.filtered)])
+    print("\n" + table.render())
+
+    none = results["none"]
+    # Every real filter eliminates the majority of bad prefetches here.
+    for label in ("pa", "pc", "hybrid-or", "hybrid-and", "oracle"):
+        assert results[label].prefetch.bad < none.prefetch.bad * 0.6, label
+    # hybrid-and filters at least as hard as hybrid-or by construction.
+    assert results["hybrid-and"].prefetch.issued <= results["hybrid-or"].prefetch.issued
+    # On this benchmark filtering must pay off against no filtering.
+    assert results["pa"].ipc > none.ipc
+    assert results["oracle"].ipc > none.ipc

@@ -1,0 +1,32 @@
+"""Figure 11 — bad prefetches vs history-table size (PA filter).
+
+Paper: mostly flat-to-rising with size (aliasing in short tables filters
+*more*, including by accident); absolute numbers stay small.
+"""
+
+import figdata
+from repro.analysis.report import Table
+
+SIZES = (1024, 2048, 4096, 8192, 16384)
+
+
+def test_fig11_table_size_bad_prefetches(benchmark):
+    results = benchmark.pedantic(figdata.history_size_sweep, rounds=1, iterations=1)
+
+    table = Table(
+        "Figure 11 — bad prefetches vs history size (normalised to 4K entries)",
+        ["benchmark"] + [f"{s // 1024}K" for s in SIZES],
+    )
+    for name in figdata.BENCHES:
+        ref = max(1, results[name][4096].prefetch.bad)
+        table.add_row(name, [results[name][s].prefetch.bad / ref for s in SIZES])
+    print("\n" + table.render())
+
+    # Filtered bad counts stay far below the unfiltered baseline at every size.
+    unfiltered = figdata.filter_comparison(8)
+    from repro.common.config import FilterKind
+
+    for name in figdata.BENCHES:
+        baseline_bad = unfiltered[name][FilterKind.NONE].prefetch.bad
+        for s in SIZES:
+            assert results[name][s].prefetch.bad <= baseline_bad, (name, s)

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Bring your own workload: drive the simulator with a custom trace.
+
+Demonstrates the library's extension surface:
+
+  * compose a trace from the synthetic primitives (a database-style scan
+    with an index side-structure) using :class:`TraceBuilder`,
+  * run the compiler software-prefetch pass over it,
+  * simulate under the adaptive filter — the paper's "advanced features"
+    extension that only filters once prefetch accuracy degrades.
+
+Run:  python examples/custom_workload.py
+"""
+
+import numpy as np
+
+from repro import FilterKind, SimulationConfig, Trace, TraceBuilder, run_simulation
+from repro.trace.synth import strided_addresses, zipf_addresses
+from repro.workloads import insert_software_prefetches
+from repro.workloads.base import emit_access_block, mix_local_accesses
+
+TABLE_BASE = 0x4000_0000
+INDEX_BASE = 0x5000_0000
+ROW_BYTES = 128
+N_ROWS = 8192  # 1 MB table: larger than the L2
+N_KEYS = 4096
+
+
+def build_scan_trace(n_insts: int = 60_000, seed: int = 0) -> Trace:
+    """A table scan with zipf-popular index probes — OLTP-flavoured."""
+    rng = np.random.default_rng(seed)
+    b = TraceBuilder("dbscan")
+    row = 0
+    while len(b) < n_insts:
+        # Sequential scan over a chunk of rows (prefetch-friendly).
+        scan = strided_addresses(TABLE_BASE + row * ROW_BYTES, 64, ROW_BYTES // 4)
+        emit_access_block(
+            b, rng, "scan", mix_local_accesses(rng, scan, 0.6),
+            ops_per_access=3, branch_every=8, branch_taken_rate=0.97,
+        )
+        row = (row + 16) % N_ROWS
+        # Index probes into a B-tree-ish structure (prefetch-hostile).
+        probes = zipf_addresses(rng, INDEX_BASE, N_KEYS, 64, 64, s=1.2)
+        emit_access_block(
+            b, rng, "index", mix_local_accesses(rng, probes, 0.7),
+            ops_per_access=2, branch_every=3, branch_taken_rate=0.85,
+        )
+    return insert_software_prefetches(b.build())
+
+
+def main() -> None:
+    trace = build_scan_trace()
+    s = trace.summary()
+    print(f"custom trace: {s.instructions} instructions, {s.memory_references} memory refs, "
+          f"{s.sw_prefetches} software prefetches, {s.unique_pcs} static PCs")
+
+    base = SimulationConfig.paper_default().with_warmup(20_000)
+    print(f"\n{'filter':<10} {'IPC':>7} {'good':>6} {'bad':>6} {'filtered':>9}")
+    for kind in (FilterKind.NONE, FilterKind.PA, FilterKind.ADAPTIVE):
+        cfg = base.with_filter(kind=kind)
+        from repro.core.simulator import Simulator
+
+        r = Simulator(cfg).run(trace)
+        t = r.prefetch
+        print(f"{kind.value:<10} {r.ipc:7.3f} {t.good:6d} {t.bad:6d} {t.filtered:9d}")
+    print("\nThe adaptive filter bypasses filtering while the prefetchers stay "
+          "accurate on the scan, and engages on the polluting index probes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Design-space exploration: history-table size and L1 port count.
+
+Reproduces the paper's two hardware-budget questions (Sections 5.3-5.4)
+for a chosen benchmark:
+
+  * How big does the filter's history table need to be?  (The paper
+    settles on 4096 entries = 1 KB.)
+  * How many L1 ports are worth their latency cost?  (The paper finds
+    diminishing returns past 4.)
+
+Run:  python examples/design_space.py [benchmark]
+"""
+
+import sys
+
+from repro import SimulationConfig, FilterKind, run_workload, sweep_history_sizes, sweep_l1_ports
+
+N_INSTS = 80_000
+WARMUP = 30_000
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "wave5"
+    base = SimulationConfig.paper_default(FilterKind.PA).with_warmup(WARMUP)
+
+    print(f"history-table size sweep — {name} (PA filter)")
+    print(f"{'entries':>8} {'bytes':>6} {'IPC':>7} {'good':>6} {'bad':>6}")
+    for entries, r in sweep_history_sizes(name, base, n_insts=N_INSTS).items():
+        print(
+            f"{entries:>8} {entries // 4:>6} {r.ipc:7.3f} "
+            f"{r.prefetch.good:6d} {r.prefetch.bad:6d}"
+        )
+
+    print()
+    print(f"L1 port sweep — {name} (PA filter; latency 1/2/3 cycles at 3/4/5 ports)")
+    print(f"{'ports':>6} {'IPC':>7} {'bad/good':>9}")
+    for ports, r in sweep_l1_ports(name, n_insts=N_INSTS).items():
+        ratio = r.prefetch.bad_good_ratio
+        print(f"{ports:>6} {r.ipc:7.3f} {ratio:9.3f}")
+
+    print()
+    print("paper's conclusions: 4096 entries suffice (1KB); >4 ports not worth the latency")
+
+
+if __name__ == "__main__":
+    main()

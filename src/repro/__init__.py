@@ -1,0 +1,67 @@
+"""repro — reproduction of Zhuang & Lee, *A Hardware-based Cache Pollution
+Filtering Mechanism for Aggressive Prefetches* (ICPP 2003).
+
+A trace-driven out-of-order processor + cache hierarchy simulator with the
+paper's three prefetch sources (NSP, SDP, compiler software prefetches) and
+its PA/PC history-table pollution filters, plus the baselines it compares
+against (static profiling filter, dedicated prefetch buffer, oracle).
+
+Quickstart::
+
+    from repro import SimulationConfig, FilterKind, run_workload
+
+    cfg = SimulationConfig.paper_default(FilterKind.PC)
+    result = run_workload("em3d", cfg, n_insts=100_000)
+    print(result.ipc, result.prefetch.good, result.prefetch.bad)
+"""
+
+from repro.analysis.sweep import (
+    compare_filters,
+    run_oracle,
+    run_static,
+    run_workload,
+    sweep_history_sizes,
+    sweep_l1_ports,
+)
+from repro.common.config import (
+    CacheConfig,
+    FilterConfig,
+    FilterKind,
+    HierarchyConfig,
+    PrefetchBufferConfig,
+    PrefetchConfig,
+    ProcessorConfig,
+    SimulationConfig,
+)
+from repro.core.simulator import SimulationResult, Simulator, run_simulation
+from repro.mem.cache import FillSource
+from repro.trace.stream import Trace, TraceBuilder
+from repro.workloads import build_trace, get_workload, workload_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheConfig",
+    "FillSource",
+    "FilterConfig",
+    "FilterKind",
+    "HierarchyConfig",
+    "PrefetchBufferConfig",
+    "PrefetchConfig",
+    "ProcessorConfig",
+    "SimulationConfig",
+    "SimulationResult",
+    "Simulator",
+    "Trace",
+    "TraceBuilder",
+    "build_trace",
+    "compare_filters",
+    "get_workload",
+    "run_oracle",
+    "run_simulation",
+    "run_static",
+    "run_workload",
+    "sweep_history_sizes",
+    "sweep_l1_ports",
+    "workload_names",
+]

@@ -1,0 +1,128 @@
+"""Experiment drivers: single runs, filter comparisons, parameter sweeps.
+
+Everything an experiment needs above :class:`~repro.core.simulator
+.Simulator`: trace acquisition, two-pass protocols (oracle / static
+filter), and the three sweeps the paper's Sections 5.3–5.5 perform.
+All drivers are deterministic given (workload, n_insts, seed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.config import FilterKind, SimulationConfig
+from repro.core.simulator import SimulationResult, Simulator
+from repro.filters.oracle import OracleFilter, OracleProfileBuilder
+from repro.filters.static_filter import ProfilingObserver, StaticFilter
+from repro.trace.stream import Trace
+from repro.workloads import cached_trace
+
+
+@dataclass(frozen=True)
+class FilterSetup:
+    """A named filter scenario within a comparison (one bar group)."""
+
+    label: str
+    kind: FilterKind
+    config: Optional[SimulationConfig] = None
+
+
+def _trace_for(workload: str, n_insts: int, seed: int, software_prefetch: bool = True) -> Trace:
+    return cached_trace(workload, n_insts, seed, software_prefetch)
+
+
+def run_workload(
+    workload: str,
+    config: SimulationConfig,
+    n_insts: int = 100_000,
+    seed: int = 0,
+    engine: str = "pipeline",
+    software_prefetch: bool = True,
+) -> SimulationResult:
+    """One run of one benchmark under one configuration.
+
+    Dispatches to the two-pass protocols automatically when the config asks
+    for the ORACLE or STATIC filter.
+    """
+    trace = _trace_for(workload, n_insts, seed, software_prefetch)
+    kind = config.filter.kind
+    if kind is FilterKind.ORACLE:
+        return run_oracle(trace, config, engine)
+    if kind is FilterKind.STATIC:
+        return run_static(trace, config, engine)
+    return Simulator(config, engine=engine).run(trace)
+
+
+def run_oracle(trace: Trace, config: SimulationConfig, engine: str = "pipeline") -> SimulationResult:
+    """Two-pass oracle: profile with no filtering, replay dropping bad ones."""
+    profiler = OracleProfileBuilder()
+    Simulator(config, filter_=profiler, engine=engine).run(trace)
+    oracle = OracleFilter(profiler.profile)
+    return Simulator(config, filter_=oracle, engine=engine).run(trace)
+
+
+def run_static(trace: Trace, config: SimulationConfig, engine: str = "pipeline") -> SimulationResult:
+    """Two-pass static filter: offline profile, then PC-set filtering."""
+    observer = ProfilingObserver()
+    Simulator(config, filter_=observer, engine=engine).run(trace)
+    static = StaticFilter(observer.profile, config.filter.static_bad_fraction)
+    return Simulator(config, filter_=static, engine=engine).run(trace)
+
+
+def compare_filters(
+    workload: str,
+    base_config: SimulationConfig,
+    kinds: Sequence[FilterKind] = (FilterKind.NONE, FilterKind.PA, FilterKind.PC),
+    n_insts: int = 100_000,
+    seed: int = 0,
+    engine: str = "pipeline",
+) -> Dict[FilterKind, SimulationResult]:
+    """The paper's core comparison: the same machine under several filters."""
+    out: Dict[FilterKind, SimulationResult] = {}
+    for kind in kinds:
+        cfg = base_config.with_filter(kind=kind)
+        out[kind] = run_workload(workload, cfg, n_insts, seed, engine)
+    return out
+
+
+def sweep_history_sizes(
+    workload: str,
+    base_config: SimulationConfig,
+    entries: Sequence[int] = (1024, 2048, 4096, 8192, 16384),
+    n_insts: int = 100_000,
+    seed: int = 0,
+    engine: str = "pipeline",
+) -> Dict[int, SimulationResult]:
+    """Section 5.3: history-table size sensitivity (PA filter by default)."""
+    out: Dict[int, SimulationResult] = {}
+    for size in entries:
+        cfg = base_config.with_filter(table_entries=size)
+        out[size] = run_workload(workload, cfg, n_insts, seed, engine)
+    return out
+
+
+def sweep_l1_ports(
+    workload: str,
+    ports: Sequence[int] = (3, 4, 5),
+    filter_kind: FilterKind = FilterKind.PA,
+    n_insts: int = 100_000,
+    seed: int = 0,
+    engine: str = "pipeline",
+) -> Dict[int, SimulationResult]:
+    """Section 5.4: L1 port-count sensitivity (latency rises with ports)."""
+    out: Dict[int, SimulationResult] = {}
+    for p in ports:
+        cfg = SimulationConfig.paper_ports(p, filter_kind)
+        out[p] = run_workload(workload, cfg, n_insts, seed, engine)
+    return out
+
+
+def run_all_workloads(
+    workloads: Sequence[str],
+    config: SimulationConfig,
+    n_insts: int = 100_000,
+    seed: int = 0,
+    engine: str = "pipeline",
+) -> List[SimulationResult]:
+    return [run_workload(w, config, n_insts, seed, engine) for w in workloads]

@@ -1,0 +1,180 @@
+"""Command-line front end: ``repro-sim``.
+
+Subcommands::
+
+    repro-sim run --workload em3d --filter pc --insts 100000
+    repro-sim compare --workload mcf --insts 50000
+    repro-sim table2 --insts 50000
+    repro-sim config
+    repro-sim experiment --id f6 --insts 120000
+    repro-sim sweep --workload wave5 --what history
+    repro-sim export --workload gcc --filter pa --format csv
+
+Exists so the simulator can be driven without writing Python — handy for
+quick sanity checks and for regenerating individual paper rows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.report import Table
+from repro.analysis.sweep import compare_filters, run_workload
+from repro.common.config import FilterKind, SimulationConfig
+from repro.workloads import workload_names
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--insts", type=int, default=50_000, help="instruction budget per run")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--engine", choices=["pipeline", "interval"], default="pipeline")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    cfg = SimulationConfig.paper_default(FilterKind(args.filter))
+    if args.l1_kb == 32:
+        cfg = SimulationConfig.paper_32kb(FilterKind(args.filter))
+    result = run_workload(args.workload, cfg, args.insts, args.seed, args.engine)
+    t = result.prefetch
+    print(f"workload          {result.trace_name}")
+    print(f"filter            {result.filter_name}")
+    print(f"instructions      {result.instructions}")
+    print(f"cycles            {result.cycles}")
+    print(f"IPC               {result.ipc:.4f}")
+    print(f"L1 miss rate      {result.l1_miss_rate:.4f}")
+    print(f"L2 miss rate      {result.l2_miss_rate:.4f}")
+    print(f"prefetches good   {t.good}")
+    print(f"prefetches bad    {t.bad}")
+    print(f"filtered          {t.filtered}")
+    print(f"squashed          {t.squashed}")
+    print(f"bad/good ratio    {t.bad_good_ratio:.4f}")
+    print(f"pf/normal traffic {result.prefetch_to_normal_ratio:.4f}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    cfg = SimulationConfig.paper_default()
+    results = compare_filters(args.workload, cfg, n_insts=args.insts, seed=args.seed, engine=args.engine)
+    table = Table(f"filter comparison — {args.workload}", ["filter", "IPC", "good", "bad", "bad/good"])
+    for kind, r in results.items():
+        table.add_row(kind.value, [r.ipc, float(r.prefetch.good), float(r.prefetch.bad), r.bad_good_ratio])
+    print(table.render())
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    cfg = SimulationConfig.paper_default().with_prefetch(nsp=False, sdp=False, software=False)
+    table = Table("Table 2 — benchmark properties (prefetch off)", ["benchmark", "L1 miss", "L2 miss"])
+    for name in workload_names():
+        r = run_workload(name, cfg, args.insts, args.seed, args.engine, software_prefetch=False)
+        table.add_row(name, [r.l1_miss_rate, r.l2_miss_rate])
+    print(table.render())
+    return 0
+
+
+def _cmd_config(_args: argparse.Namespace) -> int:
+    print(SimulationConfig.paper_default().describe())
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.analysis.experiments import ExperimentSuite
+
+    suite = ExperimentSuite(args.insts, seed=args.seed)
+    for exp_id in args.id:
+        print(suite.run_experiment(exp_id).render(with_figure=not args.no_figure))
+        print()
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.sweep import sweep_history_sizes, sweep_l1_ports
+
+    if args.what == "history":
+        cfg = SimulationConfig.paper_default(FilterKind.PA).with_warmup(args.insts // 3)
+        results = sweep_history_sizes(args.workload, cfg, n_insts=args.insts, seed=args.seed)
+        table = Table(
+            f"history-size sweep — {args.workload}", ["entries", "IPC", "good", "bad"]
+        )
+        for entries, r in results.items():
+            table.add_row(str(entries), [r.ipc, float(r.prefetch.good), float(r.prefetch.bad)])
+    else:
+        results = sweep_l1_ports(args.workload, n_insts=args.insts, seed=args.seed)
+        table = Table(f"L1-port sweep — {args.workload}", ["ports", "IPC", "bad/good"])
+        for ports, r in results.items():
+            table.add_row(str(ports), [r.ipc, r.prefetch.bad_good_ratio])
+    print(table.render())
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.analysis.export import results_to_csv, results_to_json
+
+    cfg = SimulationConfig.paper_default(FilterKind(args.filter)).with_warmup(args.insts // 3)
+    results = [
+        run_workload(w, cfg, args.insts, args.seed, args.engine)
+        for w in (args.workload or workload_names())
+    ]
+    text = results_to_csv(results, include_sources=args.sources) if args.format == "csv" else results_to_json(results)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro-sim", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="simulate one workload")
+    p_run.add_argument("--workload", choices=workload_names(), required=True)
+    p_run.add_argument("--filter", choices=[k.value for k in FilterKind], default="none")
+    p_run.add_argument("--l1-kb", type=int, choices=[8, 32], default=8)
+    _add_common(p_run)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="none vs PA vs PC on one workload")
+    p_cmp.add_argument("--workload", choices=workload_names(), required=True)
+    _add_common(p_cmp)
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_t2 = sub.add_parser("table2", help="regenerate Table 2 miss rates")
+    _add_common(p_t2)
+    p_t2.set_defaults(func=_cmd_table2)
+
+    p_cfg = sub.add_parser("config", help="print the Table 1 machine")
+    p_cfg.set_defaults(func=_cmd_config)
+
+    p_exp = sub.add_parser("experiment", help="run paper experiments by id (t1..t2, f1..f16, s1..s3)")
+    p_exp.add_argument("--id", nargs="+", required=True)
+    p_exp.add_argument("--no-figure", action="store_true", help="suppress text charts")
+    p_exp.add_argument("--insts", type=int, default=50_000)
+    p_exp.add_argument("--seed", type=int, default=0)
+    p_exp.set_defaults(func=_cmd_experiment)
+
+    p_swp = sub.add_parser("sweep", help="history-size or port-count sweep")
+    p_swp.add_argument("--workload", choices=workload_names(), required=True)
+    p_swp.add_argument("--what", choices=["history", "ports"], default="history")
+    _add_common(p_swp)
+    p_swp.set_defaults(func=_cmd_sweep)
+
+    p_xp = sub.add_parser("export", help="export run results as CSV/JSON")
+    p_xp.add_argument("--workload", nargs="*", choices=workload_names(), help="default: all")
+    p_xp.add_argument("--filter", choices=[k.value for k in FilterKind], default="none")
+    p_xp.add_argument("--format", choices=["csv", "json"], default="csv")
+    p_xp.add_argument("--sources", action="store_true", help="include per-prefetcher tallies")
+    p_xp.add_argument("--out", help="write to a file instead of stdout")
+    _add_common(p_xp)
+    p_xp.set_defaults(func=_cmd_export)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

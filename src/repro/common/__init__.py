@@ -1,0 +1,43 @@
+"""Shared infrastructure: configuration, statistics, hashing, counters.
+
+This subpackage holds the building blocks that every other part of the
+simulator depends on but that are not themselves architectural models:
+
+* :mod:`repro.common.config` — frozen dataclasses describing the simulated
+  machine, with constructors reproducing the paper's Table 1 defaults.
+* :mod:`repro.common.stats` — a hierarchical counter registry used by all
+  hardware models to report what happened during a run.
+* :mod:`repro.common.hashing` — the index hash functions used by the
+  pollution-filter history table and the branch predictor structures.
+* :mod:`repro.common.saturating` — numpy-backed arrays of n-bit saturating
+  counters (the paper's history table entries and bimodal predictor cells).
+"""
+
+from repro.common.config import (
+    CacheConfig,
+    FilterConfig,
+    FilterKind,
+    HierarchyConfig,
+    PrefetchConfig,
+    ProcessorConfig,
+    SimulationConfig,
+)
+from repro.common.hashing import fold_xor, multiplicative_hash, table_index
+from repro.common.saturating import SaturatingCounterArray
+from repro.common.stats import StatGroup, Stats
+
+__all__ = [
+    "CacheConfig",
+    "FilterConfig",
+    "FilterKind",
+    "HierarchyConfig",
+    "PrefetchConfig",
+    "ProcessorConfig",
+    "SimulationConfig",
+    "SaturatingCounterArray",
+    "StatGroup",
+    "Stats",
+    "fold_xor",
+    "multiplicative_hash",
+    "table_index",
+]

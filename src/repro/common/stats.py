@@ -1,0 +1,93 @@
+"""Hierarchical statistics registry.
+
+Every hardware model owns a :class:`StatGroup` under a shared :class:`Stats`
+root, and bumps named counters as events happen.  The registry supports
+
+* cheap increments (plain dict arithmetic, no object churn on the hot path),
+* nested namespaces (``stats["l1"]["demand_miss"]``),
+* snapshot/delta for measuring a window of execution,
+* flat export for CSV-style reporting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping
+
+
+class StatGroup:
+    """One namespace of counters, with optional nested child groups."""
+
+    __slots__ = ("name", "counters", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.counters: Dict[str, float] = {}
+        self.children: Dict[str, "StatGroup"] = {}
+
+    # -- counter access ------------------------------------------------
+    def bump(self, key: str, amount: float = 1) -> None:
+        """Add ``amount`` to counter ``key`` (creating it at zero)."""
+        self.counters[key] = self.counters.get(key, 0) + amount
+
+    def set(self, key: str, value: float) -> None:
+        self.counters[key] = value
+
+    def get(self, key: str, default: float = 0) -> float:
+        return self.counters.get(key, default)
+
+    def __getitem__(self, key: str) -> "StatGroup":
+        """Child-group access; creates the child on first use."""
+        child = self.children.get(key)
+        if child is None:
+            child = StatGroup(key)
+            self.children[key] = child
+        return child
+
+    # -- aggregation ----------------------------------------------------
+    def flat(self, prefix: str = "") -> Dict[str, float]:
+        """Flatten to ``{"group.sub.counter": value}``."""
+        here = f"{prefix}{self.name}." if self.name else prefix
+        out = {f"{here}{k}": v for k, v in self.counters.items()}
+        for child in self.children.values():
+            out.update(child.flat(here))
+        return out
+
+    def total(self, key: str) -> float:
+        """Sum of ``key`` over this group and all descendants."""
+        result = self.counters.get(key, 0)
+        for child in self.children.values():
+            result += child.total(key)
+        return result
+
+    def reset(self) -> None:
+        self.counters.clear()
+        for child in self.children.values():
+            child.reset()
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.counters)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StatGroup({self.name!r}, {len(self.counters)} counters, {len(self.children)} children)"
+
+
+class Stats(StatGroup):
+    """Root of the statistics tree for one simulation run."""
+
+    def __init__(self) -> None:
+        super().__init__("")
+
+    def snapshot(self) -> Dict[str, float]:
+        return self.flat()
+
+    @staticmethod
+    def delta(before: Mapping[str, float], after: Mapping[str, float]) -> Dict[str, float]:
+        """Per-key difference ``after - before`` (missing keys treated as 0)."""
+        keys = set(before) | set(after)
+        return {k: after.get(k, 0) - before.get(k, 0) for k in keys}
+
+    def to_csv(self) -> str:
+        rows = ["counter,value"]
+        for key, value in sorted(self.flat().items()):
+            rows.append(f"{key},{value}")
+        return "\n".join(rows)

@@ -1,0 +1,111 @@
+"""Branch prediction: bimodal predictor and BTB (Table 1).
+
+The machine fetches past conditional branches using a 2048-entry bimodal
+(per-PC 2-bit saturating counter) direction predictor and a 4-way,
+4096-set branch target buffer.  A direction mispredict — or a taken branch
+whose target is absent from the BTB — costs a pipeline flush.
+
+The trace carries branch outcomes but not target addresses (synthetic
+workloads have no real code layout), so the BTB is modelled on branch PCs:
+a taken branch must have a BTB entry to redirect fetch in time; entries are
+allocated on taken branches and replaced LRU within a set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.hashing import table_index
+from repro.common.saturating import SaturatingCounterArray
+from repro.common.stats import StatGroup
+
+
+class BimodalPredictor:
+    """Per-PC 2-bit saturating counter direction predictor."""
+
+    def __init__(self, entries: int = 2048, stats: StatGroup | None = None) -> None:
+        if entries < 1 or entries & (entries - 1):
+            raise ValueError("predictor entries must be a positive power of two")
+        self.entries = entries
+        # Initialise weakly-taken: the classic bimodal reset state.
+        self.counters = SaturatingCounterArray(entries, bits=2, initial=2, threshold=2)
+        self.stats = stats if stats is not None else StatGroup("bimodal")
+
+    def _index(self, pc: int) -> int:
+        # Branch PCs are word aligned; drop the low bits before indexing.
+        return table_index(pc >> 2, self.entries, "modulo")
+
+    def predict(self, pc: int) -> bool:
+        return self.counters.predict(self._index(pc))
+
+    def update(self, pc: int, taken: bool) -> None:
+        self.counters.update(self._index(pc), taken)
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """One predictor consultation; returns True when the guess was right."""
+        i = self._index(pc)
+        correct = self.counters.predict(i) == taken
+        self.counters.update(i, taken)
+        self.stats.bump("correct" if correct else "mispredict")
+        return correct
+
+
+class BranchTargetBuffer:
+    """Set-associative PC -> target presence tracker (LRU within a set)."""
+
+    def __init__(self, sets: int = 4096, ways: int = 4, stats: StatGroup | None = None) -> None:
+        if sets < 1 or sets & (sets - 1):
+            raise ValueError("BTB sets must be a positive power of two")
+        if ways < 1:
+            raise ValueError("BTB needs at least one way")
+        self.sets, self.ways = sets, ways
+        self.tags = np.full((sets, ways), -1, dtype=np.int64)
+        self.stamp = np.zeros((sets, ways), dtype=np.int64)
+        self._clock = 0
+        self.stats = stats if stats is not None else StatGroup("btb")
+
+    def lookup_and_allocate(self, pc: int, taken: bool) -> bool:
+        """Probe for a branch; allocate on taken. Returns hit (target known)."""
+        self._clock += 1
+        s = table_index(pc >> 2, self.sets, "modulo")
+        row = self.tags[s]
+        for w in range(self.ways):
+            if row[w] == pc:
+                self.stamp[s, w] = self._clock
+                self.stats.bump("hit")
+                return True
+        self.stats.bump("miss")
+        if taken:
+            w = int(np.argmin(self.stamp[s]))
+            self.tags[s, w] = pc
+            self.stamp[s, w] = self._clock
+            self.stats.bump("allocated")
+        return False
+
+
+class BranchUnit:
+    """Direction predictor + BTB composed into one resolve() call."""
+
+    def __init__(
+        self,
+        predictor_entries: int = 2048,
+        btb_sets: int = 4096,
+        btb_ways: int = 4,
+        stats: StatGroup | None = None,
+    ) -> None:
+        root = stats if stats is not None else StatGroup("branch")
+        self.stats = root
+        self.predictor = BimodalPredictor(predictor_entries, root["bimodal"])
+        self.btb = BranchTargetBuffer(btb_sets, btb_ways, root["btb"])
+
+    def resolve(self, pc: int, taken: bool) -> bool:
+        """Process one dynamic branch; True when fetch proceeded unbroken.
+
+        A taken branch redirects fetch correctly only when the direction was
+        predicted *and* the BTB supplied the target.
+        """
+        direction_ok = self.predictor.predict_and_update(pc, taken)
+        target_ok = self.btb.lookup_and_allocate(pc, taken)
+        ok = direction_ok and (target_ok or not taken)
+        self.stats.bump("flushes" if not ok else "clean")
+        return ok

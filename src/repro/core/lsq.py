@@ -1,0 +1,16 @@
+"""Load/store queue.
+
+Same retirement-window mechanics as the ROB (see :mod:`repro.core.rob`)
+but only memory instructions occupy slots — including software prefetches,
+which the paper identifies *in the LSQ* before routing them to the
+pollution filter.  A 64-entry LSQ therefore caps the number of memory
+operations in flight independently of the 128-entry ROB.
+"""
+
+from __future__ import annotations
+
+from repro.core.rob import RetirementWindow
+
+
+class LoadStoreQueue(RetirementWindow):
+    """LSQ: loads, stores, and software prefetches occupy entries."""

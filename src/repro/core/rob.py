@@ -1,0 +1,61 @@
+"""Reorder buffer as a retirement-time window.
+
+In the timestamp-ordered engine, structures that bound out-of-order reach
+reduce to one question: *when does the oldest occupant leave?*  A new
+instruction may dispatch into the ROB no earlier than the retirement time
+of the instruction ``capacity`` positions before it.  Because retirement
+times are computed in program order, a ring buffer of the last ``capacity``
+retirement timestamps answers that question in O(1).
+
+This is exactly how a 128-entry ROB throttles memory-level parallelism:
+a long-latency load delays its own retirement, the window fills, dispatch
+stalls, and younger misses can no longer overlap it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class RetirementWindow:
+    """Ring buffer of retirement timestamps with a dispatch constraint."""
+
+    __slots__ = ("capacity", "_times", "_head", "_count")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("window capacity must be positive")
+        self.capacity = capacity
+        self._times = np.zeros(capacity, dtype=np.int64)
+        self._head = 0
+        self._count = 0
+
+    def constraint(self) -> int:
+        """Earliest cycle a new entry may be allocated.
+
+        Zero while the window has free slots; otherwise the retirement time
+        of the oldest occupant (its slot becomes free that cycle).
+        """
+        if self._count < self.capacity:
+            return 0
+        return int(self._times[self._head])
+
+    def push(self, retire_time: int) -> None:
+        """Record a newly dispatched instruction's (already known) retire time."""
+        self._times[self._head] = retire_time
+        self._head = (self._head + 1) % self.capacity
+        if self._count < self.capacity:
+            self._count += 1
+
+    @property
+    def occupancy(self) -> int:
+        return self._count
+
+    def reset(self) -> None:
+        self._head = 0
+        self._count = 0
+        self._times.fill(0)
+
+
+class ReorderBuffer(RetirementWindow):
+    """The ROB: every instruction occupies a slot from dispatch to retire."""

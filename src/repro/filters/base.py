@@ -1,0 +1,57 @@
+"""Pollution-filter protocol.
+
+The filter sits between prefetch generation and the prefetch queue
+(Figure 3).  Its two entry points correspond to the two data paths in the
+figure: the lookup path (incoming prefetches checked against the history
+table) and the update path (evicted-line PIB/RIB feedback).
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.common.stats import StatGroup
+from repro.prefetch.base import PrefetchRequest
+
+
+class PollutionFilter(abc.ABC):
+    """Decides, per in-flight prefetch, whether it may enter the cache."""
+
+    name = "abstract"
+
+    def __init__(self, stats: StatGroup | None = None) -> None:
+        self.stats = stats if stats is not None else StatGroup(self.name)
+
+    @abc.abstractmethod
+    def should_prefetch(self, request: PrefetchRequest) -> bool:
+        """Lookup path: True lets the prefetch proceed to the queue."""
+
+    @abc.abstractmethod
+    def on_feedback(self, line_addr: int, trigger_pc: int, referenced: bool) -> None:
+        """Update path: a prefetched line left the cache.
+
+        ``referenced`` is the line's RIB — True means the prefetch was good.
+        """
+
+    def on_feedback_ex(
+        self, line_addr: int, trigger_pc: int, referenced: bool, source=None
+    ) -> None:
+        """Update path with the prefetch source attached.
+
+        The engine calls this variant (the evicted line records which
+        prefetcher filled it); the default forwards to :meth:`on_feedback`.
+        Filters that discriminate by source — e.g. the per-source adaptive
+        filter — override this instead.
+        """
+        self.on_feedback(line_addr, trigger_pc, referenced)
+
+    def reset(self) -> None:
+        """Forget learned state."""
+
+    # -- shared accounting -------------------------------------------------
+    def _count_decision(self, allowed: bool) -> bool:
+        self.stats.bump("allowed" if allowed else "rejected")
+        return allowed
+
+    def _count_feedback(self, referenced: bool) -> None:
+        self.stats.bump("feedback_good" if referenced else "feedback_bad")

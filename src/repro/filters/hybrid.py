@@ -1,0 +1,71 @@
+"""Hybrid PA⊕PC pollution filter — a design-space extension.
+
+The paper evaluates PA and PC indexing separately and finds each wins on
+different benchmarks (PA preserves streaming workloads whose addresses are
+always fresh; PC learns faster on pointer workloads with few static
+sites).  The obvious next design point — two half-size tables voting — is
+implemented here for the ablation benches.
+
+Voting policies:
+
+* ``"and"``  — prefetch only if *both* tables predict good (aggressive
+  filtering: a prefetch is dropped when either view has gone bad),
+* ``"or"``   — prefetch if *either* predicts good (conservative filtering:
+  both views must agree the prefetch is bad to drop it).
+
+Both tables train on every feedback, so each keeps a complete view.  With
+equal total storage to the paper's single 4096-entry table (two 2048-entry
+tables), this tests whether the two index spaces carry complementary
+information.
+"""
+
+from __future__ import annotations
+
+from repro.common.stats import StatGroup
+from repro.filters.base import PollutionFilter
+from repro.filters.history_table import HistoryTable
+from repro.prefetch.base import PrefetchRequest
+
+
+class HybridFilter(PollutionFilter):
+    name = "hybrid"
+
+    def __init__(
+        self,
+        entries_per_table: int = 2048,
+        counter_bits: int = 2,
+        initial_value: int = 2,
+        threshold: int = 2,
+        policy: str = "or",
+        hash_scheme: str = "fold_xor",
+        stats: StatGroup | None = None,
+    ) -> None:
+        super().__init__(stats)
+        if policy not in ("and", "or"):
+            raise ValueError("policy must be 'and' or 'or'")
+        self.policy = policy
+        self.pa_table = HistoryTable(
+            entries_per_table, counter_bits, initial_value, threshold, hash_scheme, self.stats["pa"]
+        )
+        self.pc_table = HistoryTable(
+            entries_per_table, counter_bits, initial_value, threshold, hash_scheme, self.stats["pc"]
+        )
+
+    def should_prefetch(self, request: PrefetchRequest) -> bool:
+        pa_good = self.pa_table.predict_good(request.line_addr)
+        pc_good = self.pc_table.predict_good(request.trigger_pc)
+        allowed = (pa_good and pc_good) if self.policy == "and" else (pa_good or pc_good)
+        return self._count_decision(allowed)
+
+    def on_feedback(self, line_addr: int, trigger_pc: int, referenced: bool) -> None:
+        self._count_feedback(referenced)
+        self.pa_table.train(line_addr, referenced)
+        self.pc_table.train(trigger_pc, referenced)
+
+    def reset(self) -> None:
+        self.pa_table.reset()
+        self.pc_table.reset()
+
+    @property
+    def storage_bytes(self) -> int:
+        return self.pa_table.storage_bytes + self.pc_table.storage_bytes

@@ -1,0 +1,22 @@
+"""No-filtering baseline: every prefetch is allowed.
+
+This is the paper's "without pollution control" configuration — the
+reference point every figure normalises against.  Feedback is still
+accepted (and counted) so instrumentation paths stay identical across
+filter kinds.
+"""
+
+from __future__ import annotations
+
+from repro.filters.base import PollutionFilter
+from repro.prefetch.base import PrefetchRequest
+
+
+class NullFilter(PollutionFilter):
+    name = "none"
+
+    def should_prefetch(self, request: PrefetchRequest) -> bool:
+        return self._count_decision(True)
+
+    def on_feedback(self, line_addr: int, trigger_pc: int, referenced: bool) -> None:
+        self._count_feedback(referenced)

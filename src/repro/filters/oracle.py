@@ -1,0 +1,111 @@
+"""Oracle filter — the Section 3 motivation experiment.
+
+The paper motivates the hardware filter by "artificially eliminating those
+bad [prefetches]" and measuring what an ideal filter could buy.  An oracle
+needs future knowledge, so it is realised as a two-pass protocol:
+
+1. **Profiling pass** — run with :class:`OracleProfileBuilder` in the filter
+   slot; it allows everything and records, per (line address, trigger PC)
+   key, every good/bad outcome.  The simulator guarantees every allowed
+   prefetch receives exactly one feedback (eviction or end-of-run flush),
+   so the profile is complete.
+2. **Oracle pass** — rerun with :class:`OracleFilter`; a request is dropped
+   iff its key's profiled outcomes were majority-bad (ties and unprofiled
+   keys default to allow).
+
+Majority-per-key is used rather than exact instance replay because
+eliminating prefetches perturbs downstream cache state — NSP tag chains
+shift and different requests are generated — so instance alignment between
+the two passes does not survive.  The same caveat applies to the paper's
+own elimination experiment; the oracle is an upper-bound *estimate* of
+ideal filtering, not a reachable design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.stats import StatGroup
+from repro.filters.base import PollutionFilter
+from repro.prefetch.base import PrefetchRequest
+
+_Key = Tuple[int, int]  # (line_addr, trigger_pc)
+
+
+@dataclass
+class OracleProfile:
+    """Per-(line, PC) outcome sequences from a profiling pass."""
+
+    outcomes: Dict[_Key, List[bool]] = field(default_factory=dict)
+
+    def record(self, line_addr: int, trigger_pc: int, referenced: bool) -> None:
+        self.outcomes.setdefault((line_addr, trigger_pc), []).append(referenced)
+
+    def majority_good(self, line_addr: int, trigger_pc: int) -> Optional[bool]:
+        """True/False per majority outcome; None when the key was never seen.
+
+        Ties count as good: the paper eliminates prefetches *known* to be
+        bad, and an ambiguous key is not known-bad.
+        """
+        seq = self.outcomes.get((line_addr, trigger_pc))
+        if seq is None:
+            return None
+        good = sum(seq)
+        return good * 2 >= len(seq)
+
+    @property
+    def total_recorded(self) -> int:
+        return sum(len(v) for v in self.outcomes.values())
+
+    @property
+    def total_bad(self) -> int:
+        return sum(sum(1 for o in v if not o) for v in self.outcomes.values())
+
+
+class OracleProfileBuilder(PollutionFilter):
+    """Pass-everything filter that records outcome sequences."""
+
+    name = "oracle_profiler"
+
+    def __init__(self, stats: StatGroup | None = None) -> None:
+        super().__init__(stats)
+        self.profile = OracleProfile()
+
+    def should_prefetch(self, request: PrefetchRequest) -> bool:
+        return self._count_decision(True)
+
+    def on_feedback(self, line_addr: int, trigger_pc: int, referenced: bool) -> None:
+        self._count_feedback(referenced)
+        self.profile.record(line_addr, trigger_pc, referenced)
+
+
+class OracleFilter(PollutionFilter):
+    """Replays a profile, dropping the prefetches that went bad."""
+
+    name = "oracle"
+
+    def __init__(self, profile: OracleProfile, stats: StatGroup | None = None) -> None:
+        super().__init__(stats)
+        self.profile = profile
+        self._verdict_cache: Dict[_Key, Optional[bool]] = {}
+
+    def should_prefetch(self, request: PrefetchRequest) -> bool:
+        key = (request.line_addr, request.trigger_pc)
+        verdict = self._verdict_cache.get(key, _UNSET)
+        if verdict is _UNSET:
+            verdict = self.profile.majority_good(request.line_addr, request.trigger_pc)
+            self._verdict_cache[key] = verdict
+        if verdict is None:
+            self.stats.bump("unprofiled")
+            return self._count_decision(True)
+        return self._count_decision(verdict)
+
+    def on_feedback(self, line_addr: int, trigger_pc: int, referenced: bool) -> None:
+        self._count_feedback(referenced)
+
+    def reset(self) -> None:
+        self._verdict_cache.clear()
+
+
+_UNSET = object()

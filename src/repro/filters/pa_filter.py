@@ -1,0 +1,43 @@
+"""Per-Address (PA) pollution filter — paper Section 4.1.
+
+Indexes the history table with the *cache line address* of the prefetched
+data (byte address with line-offset bits stripped — our requests already
+carry line addresses).  The PA scheme can tell apart the different target
+addresses a single memory instruction generates across iterations, at the
+cost of more aliasing pressure on a fixed-size table.
+"""
+
+from __future__ import annotations
+
+from repro.common.stats import StatGroup
+from repro.filters.base import PollutionFilter
+from repro.filters.history_table import HistoryTable
+from repro.prefetch.base import PrefetchRequest
+
+
+class PAFilter(PollutionFilter):
+    name = "pa"
+
+    def __init__(
+        self,
+        entries: int = 4096,
+        counter_bits: int = 2,
+        initial_value: int = 2,
+        threshold: int = 2,
+        hash_scheme: str = "fold_xor",
+        stats: StatGroup | None = None,
+    ) -> None:
+        super().__init__(stats)
+        self.table = HistoryTable(
+            entries, counter_bits, initial_value, threshold, hash_scheme, self.stats["table"]
+        )
+
+    def should_prefetch(self, request: PrefetchRequest) -> bool:
+        return self._count_decision(self.table.predict_good(request.line_addr))
+
+    def on_feedback(self, line_addr: int, trigger_pc: int, referenced: bool) -> None:
+        self._count_feedback(referenced)
+        self.table.train(line_addr, referenced)
+
+    def reset(self) -> None:
+        self.table.reset()

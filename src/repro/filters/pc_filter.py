@@ -1,0 +1,44 @@
+"""Program-Counter (PC) pollution filter — paper Section 4.2.
+
+Indexes the history table with the PC of the instruction that *triggered*
+the prefetch: the software-prefetch instruction itself, or the memory
+instruction whose access fired a hardware prefetcher.  One PC aggregates
+the fate of every address it prefetches, so the scheme is coarser than PA
+but needs far fewer distinct table entries — the paper finds it slightly
+better overall (9.1% vs 8.2% IPC at 8 KB).
+"""
+
+from __future__ import annotations
+
+from repro.common.stats import StatGroup
+from repro.filters.base import PollutionFilter
+from repro.filters.history_table import HistoryTable
+from repro.prefetch.base import PrefetchRequest
+
+
+class PCFilter(PollutionFilter):
+    name = "pc"
+
+    def __init__(
+        self,
+        entries: int = 4096,
+        counter_bits: int = 2,
+        initial_value: int = 2,
+        threshold: int = 2,
+        hash_scheme: str = "fold_xor",
+        stats: StatGroup | None = None,
+    ) -> None:
+        super().__init__(stats)
+        self.table = HistoryTable(
+            entries, counter_bits, initial_value, threshold, hash_scheme, self.stats["table"]
+        )
+
+    def should_prefetch(self, request: PrefetchRequest) -> bool:
+        return self._count_decision(self.table.predict_good(request.trigger_pc))
+
+    def on_feedback(self, line_addr: int, trigger_pc: int, referenced: bool) -> None:
+        self._count_feedback(referenced)
+        self.table.train(trigger_pc, referenced)
+
+    def reset(self) -> None:
+        self.table.reset()

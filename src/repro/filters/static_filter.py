@@ -1,0 +1,103 @@
+"""Static (profiling-based) filter — the related-work baseline.
+
+Srinivasan et al.'s static filter [18] collects information about polluting
+prefetches *off-line through profiling* and uses it to gate prefetches in
+later runs.  The paper contrasts its dynamic filters against this approach
+("it lacks the dynamic adaptivity during runtime when the working set
+changes") and reports beating its 2–4% gains.
+
+We reproduce it faithfully as a two-phase protocol:
+
+1. a profiling run (any filter; normally none) produces per-trigger-PC
+   good/bad counts — :class:`StaticProfile` accumulates them;
+2. :class:`StaticFilter` then rejects every prefetch whose trigger PC was
+   bad more than ``bad_fraction_threshold`` of the time in the profile.
+
+The profile is immutable during the filtered run: no runtime adaptation,
+exactly the property the paper criticises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from repro.common.stats import StatGroup
+from repro.filters.base import PollutionFilter
+from repro.prefetch.base import PrefetchRequest
+
+
+@dataclass
+class StaticProfile:
+    """Per-trigger-PC prefetch outcome counts from a profiling run."""
+
+    good: Dict[int, int] = field(default_factory=dict)
+    bad: Dict[int, int] = field(default_factory=dict)
+
+    def record(self, trigger_pc: int, referenced: bool) -> None:
+        book = self.good if referenced else self.bad
+        book[trigger_pc] = book.get(trigger_pc, 0) + 1
+
+    def bad_fraction(self, trigger_pc: int) -> float | None:
+        """Observed bad fraction for a PC, or None if never profiled."""
+        g = self.good.get(trigger_pc, 0)
+        b = self.bad.get(trigger_pc, 0)
+        total = g + b
+        return (b / total) if total else None
+
+    def polluting_pcs(self, threshold: float) -> frozenset[int]:
+        out = set()
+        for pc in set(self.good) | set(self.bad):
+            frac = self.bad_fraction(pc)
+            if frac is not None and frac > threshold:
+                out.add(pc)
+        return frozenset(out)
+
+    @classmethod
+    def from_counts(cls, good: Mapping[int, int], bad: Mapping[int, int]) -> "StaticProfile":
+        return cls(dict(good), dict(bad))
+
+
+class StaticFilter(PollutionFilter):
+    name = "static"
+
+    def __init__(
+        self,
+        profile: StaticProfile,
+        bad_fraction_threshold: float = 0.5,
+        stats: StatGroup | None = None,
+    ) -> None:
+        super().__init__(stats)
+        if not 0.0 <= bad_fraction_threshold <= 1.0:
+            raise ValueError("threshold must be a fraction")
+        self.profile = profile
+        self.threshold = bad_fraction_threshold
+        self._blocked = profile.polluting_pcs(bad_fraction_threshold)
+
+    def should_prefetch(self, request: PrefetchRequest) -> bool:
+        return self._count_decision(request.trigger_pc not in self._blocked)
+
+    def on_feedback(self, line_addr: int, trigger_pc: int, referenced: bool) -> None:
+        # Static by construction: feedback is counted but never learned from.
+        self._count_feedback(referenced)
+
+    @property
+    def blocked_pc_count(self) -> int:
+        return len(self._blocked)
+
+
+class ProfilingObserver(PollutionFilter):
+    """Pass-through filter that *builds* a StaticProfile during a run."""
+
+    name = "profiling"
+
+    def __init__(self, stats: StatGroup | None = None) -> None:
+        super().__init__(stats)
+        self.profile = StaticProfile()
+
+    def should_prefetch(self, request: PrefetchRequest) -> bool:
+        return self._count_decision(True)
+
+    def on_feedback(self, line_addr: int, trigger_pc: int, referenced: bool) -> None:
+        self._count_feedback(referenced)
+        self.profile.record(trigger_pc, referenced)

@@ -1,0 +1,79 @@
+"""Bus traffic accounting and bandwidth occupancy.
+
+Two jobs:
+
+1. **Accounting** — every cache-line transfer is recorded by kind (demand
+   fill, prefetch fill, writeback) and by level crossing (L2->L1 vs
+   memory->L2).  Figure 2's "traffic distribution of the L1 cache" and the
+   "prefetch bandwidth reduction" numbers come straight from these counters.
+
+2. **Occupancy** — the memory-side bus is ``bus_bytes`` wide per core cycle,
+   so a line transfer occupies it for ``ceil(line_bytes / bus_bytes)``
+   cycles.  Transfers queue behind each other, which is how excessive
+   prefetch traffic lengthens demand-miss latency (the paper's "throttle
+   bus bandwidth" effect).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.common.stats import StatGroup
+
+
+class TransferKind(enum.Enum):
+    DEMAND_FILL = "demand_fill"
+    PREFETCH_FILL = "prefetch_fill"
+    WRITEBACK = "writeback"
+
+
+class Bus:
+    """A shared transfer path with per-kind accounting."""
+
+    def __init__(
+        self,
+        line_bytes: int,
+        bus_bytes: int,
+        stats: StatGroup | None = None,
+        model_occupancy: bool = True,
+    ) -> None:
+        if line_bytes < 1 or bus_bytes < 1:
+            raise ValueError("line and bus widths must be positive")
+        self.cycles_per_line = max(1, -(-line_bytes // bus_bytes))
+        self.stats = stats if stats is not None else StatGroup("bus")
+        self.model_occupancy = model_occupancy
+        self._busy_until = 0
+
+    def transfer(self, kind: TransferKind, when: int) -> int:
+        """Record one line transfer starting no earlier than ``when``.
+
+        Returns the cycle at which the transfer *completes* (equal to
+        ``when + cycles_per_line`` on an idle bus).  With occupancy modelling
+        disabled the bus is infinitely wide and only the counters move.
+        """
+        self.stats.bump(f"lines_{kind.value}")
+        if not self.model_occupancy:
+            return when + self.cycles_per_line
+        start = max(when, self._busy_until)
+        queued = start - when
+        if queued:
+            self.stats.bump("queued_cycles", queued)
+        self._busy_until = start + self.cycles_per_line
+        return self._busy_until
+
+    # -- accounting views --------------------------------------------------
+    def lines(self, kind: TransferKind) -> int:
+        return int(self.stats.get(f"lines_{kind.value}"))
+
+    @property
+    def total_lines(self) -> int:
+        return sum(self.lines(kind) for kind in TransferKind)
+
+    @property
+    def prefetch_fraction(self) -> float:
+        total = self.total_lines
+        return self.lines(TransferKind.PREFETCH_FILL) / total if total else 0.0
+
+    def reset(self) -> None:
+        self._busy_until = 0
+        self.stats.reset()

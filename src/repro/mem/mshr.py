@@ -1,0 +1,100 @@
+"""Miss Status Holding Registers.
+
+The MSHR file bounds the number of outstanding line fills and merges
+secondary misses: a demand access to a line whose fill is already in flight
+waits only for the remaining latency instead of starting a new memory
+transaction.  This is also how a *late* prefetch partially hides latency —
+the demand miss merges into the prefetch's MSHR entry.
+
+Because the timing model is timestamp-ordered rather than cycle-stepped,
+entries are pruned lazily: an entry whose ready time has passed is dead and
+is removed the next time the file is consulted at a later timestamp.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.common.stats import StatGroup
+
+
+class MSHRFile:
+    """Bounded map of line address -> fill-ready timestamp."""
+
+    def __init__(self, entries: int, stats: StatGroup | None = None) -> None:
+        if entries < 1:
+            raise ValueError("MSHR file needs at least one entry")
+        self.capacity = entries
+        self._pending: Dict[int, int] = {}
+        #: earliest ready time among pending entries; lets _prune skip the
+        #: dict scan when nothing can have completed yet (the common case).
+        self._min_ready = 0
+        self.stats = stats if stats is not None else StatGroup("mshr")
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def _prune(self, now: int) -> None:
+        if not self._pending or now < self._min_ready:
+            return
+        done = [line for line, ready in self._pending.items() if ready <= now]
+        for line in done:
+            del self._pending[line]
+        self._min_ready = min(self._pending.values()) if self._pending else 0
+
+    def free_slots(self, now: int) -> int:
+        """Entries available at time ``now`` (after pruning finished fills)."""
+        self._prune(now)
+        return self.capacity - len(self._pending)
+
+    def pending_ready(self, line_addr: int, now: int) -> Optional[int]:
+        """Ready time of an in-flight fill for ``line_addr``, if any."""
+        ready = self._pending.get(line_addr)
+        if ready is None or ready <= now:
+            return None
+        return ready
+
+    def allocate(self, line_addr: int, ready: int, now: int) -> tuple[int, bool]:
+        """Register a fill completing at ``ready``; returns (ready, stalled).
+
+        When the file is full, the request cannot start until the earliest
+        existing entry retires (structural hazard): the fill is delayed by
+        that wait and ``stalled`` is reported so the core can apply
+        backpressure (a stalled store blocks retirement like a load, which
+        is what stops runaway streams from allocating unboundedly).
+        Allocating a line that is already pending merges into the existing
+        entry (keeping the earlier ready time).
+        """
+        self._prune(now)
+        existing = self._pending.get(line_addr)
+        if existing is not None:
+            self.stats.bump("merged")
+            if ready < existing:
+                self._pending[line_addr] = ready
+                if ready < self._min_ready:
+                    self._min_ready = ready
+                return ready, False
+            return existing, False
+        stalled = False
+        if len(self._pending) >= self.capacity:
+            earliest = min(self._pending.values())
+            stall = max(0, earliest - now)
+            ready += stall
+            stalled = True
+            self.stats.bump("structural_stall")
+            self.stats.bump("structural_stall_cycles", stall)
+            # The earliest entry has retired by `earliest`; reuse its slot.
+            for line, r in list(self._pending.items()):
+                if r == earliest:
+                    del self._pending[line]
+                    break
+            self._min_ready = min(self._pending.values()) if self._pending else 0
+        self._pending[line_addr] = ready
+        if len(self._pending) == 1 or ready < self._min_ready:
+            self._min_ready = ready
+        self.stats.bump("allocated")
+        return ready, stalled
+
+    def clear(self) -> None:
+        self._pending.clear()
+        self._min_ready = 0

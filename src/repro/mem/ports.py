@@ -1,0 +1,68 @@
+"""L1 cache-port arbitration.
+
+The paper's Figure 3 shows the prefetch queue *contending with normal L1
+memory references* for the L1 ports; Section 5.4 sweeps the port count.
+All ports are universal (the paper's footnote 1).
+
+The arbiter keeps a next-free timestamp per port.  A demand access takes
+the earliest port even if it must wait; a prefetch is only granted a port
+that is already idle at (or before) the requested cycle — demand traffic
+therefore has strict priority, and a saturated L1 starves the prefetch
+queue, which is exactly the "procrastinated prefetches turn good into bad"
+effect of Section 5.4.
+"""
+
+from __future__ import annotations
+
+from repro.common.stats import StatGroup
+
+
+class PortArbiter:
+    """Tracks per-port availability over monotone-ish timestamps."""
+
+    def __init__(self, num_ports: int, stats: StatGroup | None = None) -> None:
+        if num_ports < 1:
+            raise ValueError("need at least one port")
+        self.num_ports = num_ports
+        self._next_free = [0] * num_ports
+        self.stats = stats if stats is not None else StatGroup("ports")
+
+    def _earliest(self) -> int:
+        best, best_t = 0, self._next_free[0]
+        for i in range(1, self.num_ports):
+            t = self._next_free[i]
+            if t < best_t:
+                best, best_t = i, t
+        return best
+
+    def acquire_demand(self, when: int) -> int:
+        """Grant a port to a demand access; returns the grant cycle (>= when)."""
+        port = self._earliest()
+        grant = max(when, self._next_free[port])
+        self._next_free[port] = grant + 1
+        wait = grant - when
+        self.stats.bump("demand_grants")
+        if wait:
+            self.stats.bump("demand_wait_cycles", wait)
+        return grant
+
+    def try_acquire_prefetch(self, when: int) -> int | None:
+        """Grant a port to a prefetch only if one is idle at ``when``.
+
+        Returns the grant cycle or None when every port is busy — the
+        prefetch stays queued and retries later.
+        """
+        port = self._earliest()
+        if self._next_free[port] > when:
+            self.stats.bump("prefetch_denied")
+            return None
+        self._next_free[port] = when + 1
+        self.stats.bump("prefetch_grants")
+        return when
+
+    def earliest_free(self) -> int:
+        """First cycle at which any port is idle (queue-drain scheduling)."""
+        return min(self._next_free)
+
+    def reset(self) -> None:
+        self._next_free = [0] * self.num_ports

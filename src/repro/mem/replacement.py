@@ -1,0 +1,86 @@
+"""Cache victim-selection policies.
+
+A policy sees only per-set metadata (validity and the recency stamps the
+cache maintains) and returns the way to evict.  The default machine is
+direct-mapped L1 / LRU L2 as in the paper; FIFO and random exist for
+ablations and for the fully-associative prefetch buffer.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+
+class ReplacementPolicy(abc.ABC):
+    """Chooses a victim way within one cache set."""
+
+    name = "abstract"
+
+    @abc.abstractmethod
+    def victim(self, valid_row: np.ndarray, stamp_row: np.ndarray) -> int:
+        """Return the way index to evict from a full set.
+
+        ``valid_row``/``stamp_row`` are the set's per-way metadata; the cache
+        guarantees the set is full when this is called (invalid ways are
+        allocated without consulting the policy).
+        """
+
+    def on_access(self, stamp_row: np.ndarray, way: int, now: int) -> None:
+        """Metadata update on a hit (default: refresh the recency stamp)."""
+        stamp_row[way] = now
+
+    def on_fill(self, stamp_row: np.ndarray, way: int, now: int) -> None:
+        """Metadata update on a fill."""
+        stamp_row[way] = now
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Evict the least-recently-used way (stamps refreshed on every access)."""
+
+    name = "lru"
+
+    def victim(self, valid_row: np.ndarray, stamp_row: np.ndarray) -> int:
+        return int(np.argmin(stamp_row))
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """Evict the oldest fill; hits do not refresh the stamp."""
+
+    name = "fifo"
+
+    def victim(self, valid_row: np.ndarray, stamp_row: np.ndarray) -> int:
+        return int(np.argmin(stamp_row))
+
+    def on_access(self, stamp_row: np.ndarray, way: int, now: int) -> None:
+        pass  # insertion order only
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Evict a uniformly random way (deterministic given the seed)."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def victim(self, valid_row: np.ndarray, stamp_row: np.ndarray) -> int:
+        return int(self._rng.integers(0, len(valid_row)))
+
+    def on_access(self, stamp_row: np.ndarray, way: int, now: int) -> None:
+        pass
+
+
+_POLICIES = {"lru": LRUPolicy, "fifo": FIFOPolicy, "random": RandomPolicy}
+
+
+def make_policy(name: str, seed: int = 0) -> ReplacementPolicy:
+    """Instantiate a policy by name (``lru``, ``fifo``, ``random``)."""
+    try:
+        cls = _POLICIES[name]
+    except KeyError:
+        raise ValueError(f"unknown replacement policy {name!r}; choose from {sorted(_POLICIES)}") from None
+    if cls is RandomPolicy:
+        return RandomPolicy(seed)
+    return cls()

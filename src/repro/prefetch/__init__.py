@@ -1,0 +1,35 @@
+"""Prefetch generators and the prefetch queue.
+
+The paper drives its filter with three prefetch sources running together:
+
+* :mod:`repro.prefetch.nsp` — Next-Sequence Prefetching (tagged sequential
+  prefetch, Smith [16]),
+* :mod:`repro.prefetch.sdp` — Shadow Directory Prefetching (Pomerene et
+  al. [13]), triggered from the L2,
+* :mod:`repro.prefetch.software` — compiler-inserted prefetch instructions
+  identified in the LSQ,
+
+plus (as an extension beyond the paper) a Chen/Baer-style stride prefetcher
+in :mod:`repro.prefetch.stride`.  All requests flow through the 64-entry
+:class:`~repro.prefetch.queue.PrefetchQueue`, which contends with demand
+references for the L1 ports.
+"""
+
+from repro.prefetch.base import HardwarePrefetcher, PrefetchRequest
+from repro.prefetch.markov import MarkovPrefetcher
+from repro.prefetch.nsp import NextSequencePrefetcher
+from repro.prefetch.queue import PrefetchQueue
+from repro.prefetch.sdp import ShadowDirectoryPrefetcher
+from repro.prefetch.software import SoftwarePrefetchUnit
+from repro.prefetch.stride import StridePrefetcher
+
+__all__ = [
+    "HardwarePrefetcher",
+    "MarkovPrefetcher",
+    "NextSequencePrefetcher",
+    "PrefetchQueue",
+    "PrefetchRequest",
+    "ShadowDirectoryPrefetcher",
+    "SoftwarePrefetchUnit",
+    "StridePrefetcher",
+]

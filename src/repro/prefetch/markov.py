@@ -1,0 +1,94 @@
+"""Correlation-based (Markov) prefetcher — Charney & Reeves [2].
+
+An extension beyond the paper's NSP/SDP pair, included because the paper's
+related-work section names it as the other major hardware-prefetch family
+("keeps prior L1 cache miss addresses and triggers prefetches by
+correlating subsequent misses to the history") and because it exercises
+the pollution filter very differently: correlation prefetchers are
+effective on repeating pointer-chase sequences where sequential prefetch
+only pollutes — the ablation benches compare the two under filtering.
+
+Implementation: a bounded correlation table mapping a miss line address to
+its most-recent successor miss lines (MRU-ordered, ``ways`` deep).  On an
+L1 miss to X the entry for X is consulted and up to ``degree`` successors
+are prefetched; the entry for the *previous* miss is updated with X.
+Capacity is bounded with LRU replacement over entries, as a real
+correlation table (typically SRAM/DRAM resident) would be.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional
+
+from repro.common.stats import StatGroup
+from repro.mem.cache import FillSource
+from repro.mem.hierarchy import AccessResult
+from repro.prefetch.base import HardwarePrefetcher, PrefetchRequest
+
+
+class MarkovPrefetcher(HardwarePrefetcher):
+    source = FillSource.STRIDE  # shares the "extension" accounting slot
+
+    def __init__(
+        self,
+        entries: int = 4096,
+        ways: int = 2,
+        degree: int = 1,
+        stats: StatGroup | None = None,
+    ) -> None:
+        if entries < 1:
+            raise ValueError("correlation table needs at least one entry")
+        if ways < 1:
+            raise ValueError("need at least one successor slot per entry")
+        if degree < 1:
+            raise ValueError("degree must be at least 1")
+        self.capacity = entries
+        self.ways = ways
+        self.degree = degree
+        self.stats = stats if stats is not None else StatGroup("markov")
+        self._table: "OrderedDict[int, List[int]]" = OrderedDict()
+        self._last_miss: Optional[int] = None
+
+    def observe(self, pc: int, result: AccessResult) -> List[PrefetchRequest]:
+        if result.l1_hit:
+            return []
+        line = result.line_addr
+
+        # Learn: the previous miss is followed by this one.
+        prev = self._last_miss
+        if prev is not None and prev != line:
+            successors = self._table.get(prev)
+            if successors is None:
+                if len(self._table) >= self.capacity:
+                    self._table.popitem(last=False)
+                    self.stats.bump("entry_evicted")
+                successors = []
+                self._table[prev] = successors
+                self.stats.bump("entry_allocated")
+            else:
+                self._table.move_to_end(prev)
+            if line in successors:
+                successors.remove(line)
+            successors.insert(0, line)
+            del successors[self.ways :]
+        self._last_miss = line
+
+        # Predict: prefetch this miss's known successors.
+        successors = self._table.get(line)
+        if not successors:
+            return []
+        self._table.move_to_end(line)
+        self.stats.bump("predictions")
+        return [
+            PrefetchRequest(succ, pc, self.source)
+            for succ in successors[: self.degree]
+        ]
+
+    def reset(self) -> None:
+        self._table.clear()
+        self._last_miss = None
+
+    @property
+    def table_size(self) -> int:
+        return len(self._table)

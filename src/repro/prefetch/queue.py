@@ -1,0 +1,71 @@
+"""The prefetch queue (Table 1: 64 entries).
+
+Prefetches that survive the pollution filter wait here for a free L1 port
+(Figure 3: "the prefetch queue contends the L1 cache ports with normal L1
+memory references").  Because demand accesses have strict port priority, a
+port-saturated phase backs the queue up; queued prefetches then issue late —
+or are dropped when the queue overflows — which is the mechanism behind the
+Section 5.4 observation that fewer ports turn good prefetches into bad ones.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from repro.common.stats import StatGroup
+from repro.prefetch.base import PrefetchRequest
+
+
+class PrefetchQueue:
+    """Bounded FIFO of (request, enqueue-cycle) pairs."""
+
+    def __init__(self, capacity: int, stats: StatGroup | None = None) -> None:
+        if capacity < 1:
+            raise ValueError("queue capacity must be positive")
+        self.capacity = capacity
+        self._q: Deque[Tuple[PrefetchRequest, int]] = deque()
+        self.stats = stats if stats is not None else StatGroup("prefetch_queue")
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    @property
+    def full(self) -> bool:
+        return len(self._q) >= self.capacity
+
+    def push(self, request: PrefetchRequest, now: int) -> bool:
+        """Enqueue; returns False (and counts a drop) when full.
+
+        A full queue drops the *incoming* request: the queued ones are older
+        and closer to issue, and hardware cannot renege an allocated slot.
+        """
+        if self.full:
+            self.stats.bump("dropped_full")
+            return False
+        self._q.append((request, now))
+        self.stats.bump("enqueued")
+        return True
+
+    def peek(self) -> Optional[Tuple[PrefetchRequest, int]]:
+        return self._q[0] if self._q else None
+
+    def pop(self, issue_cycle: int) -> PrefetchRequest:
+        """Dequeue the head for issue at ``issue_cycle`` (records queue delay)."""
+        request, enqueued = self._q.popleft()
+        delay = max(0, issue_cycle - enqueued)
+        self.stats.bump("issued")
+        self.stats.bump("queue_delay_cycles", delay)
+        return request
+
+    def pending_requests(self) -> list[PrefetchRequest]:
+        """Requests still waiting (end-of-run accounting)."""
+        return [request for request, _ in self._q]
+
+    def clear(self) -> int:
+        """Drop everything still queued (end of run); returns the count."""
+        n = len(self._q)
+        if n:
+            self.stats.bump("dropped_at_drain", n)
+        self._q.clear()
+        return n

@@ -1,0 +1,212 @@
+"""Columnar trace container and incremental builder.
+
+``Trace`` holds the four instruction columns as parallel numpy arrays —
+the representation every engine iterates over.  ``TraceBuilder`` is the
+append-only constructor used by workload generators; it also assigns PCs
+so that each *static* emission site in a generator gets a stable, distinct
+PC (which the PC-based filter and branch predictor rely on).
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import Dict, Iterator, Sequence
+
+import numpy as np
+
+from repro.trace.record import (
+    BRANCH,
+    LOAD,
+    STORE,
+    SW_PREFETCH,
+    TRACE_DTYPE,
+    InstrClass,
+    TraceRecord,
+)
+
+_PC_BASE = 0x0001_2000_0000
+_PC_STEP = 4  # Alpha-style fixed 4-byte instruction encoding
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Aggregate shape of a trace (used by reports and sanity tests)."""
+
+    instructions: int
+    loads: int
+    stores: int
+    branches: int
+    sw_prefetches: int
+    unique_pcs: int
+    unique_lines_32b: int
+
+    @property
+    def memory_references(self) -> int:
+        return self.loads + self.stores
+
+
+class Trace:
+    """Immutable columnar instruction trace."""
+
+    __slots__ = ("iclass", "pc", "addr", "taken", "name")
+
+    def __init__(
+        self,
+        iclass: np.ndarray,
+        pc: np.ndarray,
+        addr: np.ndarray,
+        taken: np.ndarray,
+        name: str = "",
+    ) -> None:
+        n = len(iclass)
+        if not (len(pc) == len(addr) == len(taken) == n):
+            raise ValueError("trace columns must have equal length")
+        self.iclass = np.ascontiguousarray(iclass, dtype=np.uint8)
+        self.pc = np.ascontiguousarray(pc, dtype=np.uint64)
+        self.addr = np.ascontiguousarray(addr, dtype=np.uint64)
+        self.taken = np.ascontiguousarray(taken, dtype=np.bool_)
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self.iclass)
+
+    def __getitem__(self, i: int) -> TraceRecord:
+        return TraceRecord(
+            InstrClass(int(self.iclass[i])),
+            int(self.pc[i]),
+            int(self.addr[i]),
+            bool(self.taken[i]),
+        )
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        for i in range(len(self)):
+            yield self[i]
+
+    def head(self, n: int) -> "Trace":
+        """First ``n`` records as a new trace (cheap numpy views)."""
+        return Trace(self.iclass[:n], self.pc[:n], self.addr[:n], self.taken[:n], self.name)
+
+    # -- aggregate views -------------------------------------------------
+    def class_counts(self) -> Dict[InstrClass, int]:
+        counts = np.bincount(self.iclass, minlength=6)
+        return {cls: int(counts[cls.value]) for cls in InstrClass}
+
+    def summary(self) -> TraceSummary:
+        counts = self.class_counts()
+        mem_mask = (
+            (self.iclass == LOAD.value)
+            | (self.iclass == STORE.value)
+            | (self.iclass == SW_PREFETCH.value)
+        )
+        lines = np.unique(self.addr[mem_mask] >> np.uint64(5))
+        return TraceSummary(
+            instructions=len(self),
+            loads=counts[LOAD],
+            stores=counts[STORE],
+            branches=counts[BRANCH],
+            sw_prefetches=counts[SW_PREFETCH],
+            unique_pcs=int(len(np.unique(self.pc))),
+            unique_lines_32b=int(len(lines)),
+        )
+
+    # -- (de)serialisation -------------------------------------------------
+    def to_structured(self) -> np.ndarray:
+        out = np.empty(len(self), dtype=TRACE_DTYPE)
+        out["iclass"] = self.iclass
+        out["pc"] = self.pc
+        out["addr"] = self.addr
+        out["taken"] = self.taken
+        return out
+
+    @classmethod
+    def from_structured(cls, arr: np.ndarray, name: str = "") -> "Trace":
+        return cls(arr["iclass"], arr["pc"], arr["addr"], arr["taken"], name)
+
+    def to_bytes(self) -> bytes:
+        buf = io.BytesIO()
+        np.savez_compressed(
+            buf, iclass=self.iclass, pc=self.pc, addr=self.addr, taken=self.taken
+        )
+        return buf.getvalue()
+
+    @classmethod
+    def from_bytes(cls, blob: bytes, name: str = "") -> "Trace":
+        with np.load(io.BytesIO(blob)) as data:
+            return cls(data["iclass"], data["pc"], data["addr"], data["taken"], name)
+
+    @classmethod
+    def concat(cls, traces: Sequence["Trace"], name: str = "") -> "Trace":
+        if not traces:
+            raise ValueError("cannot concatenate an empty list of traces")
+        return cls(
+            np.concatenate([t.iclass for t in traces]),
+            np.concatenate([t.pc for t in traces]),
+            np.concatenate([t.addr for t in traces]),
+            np.concatenate([t.taken for t in traces]),
+            name or traces[0].name,
+        )
+
+
+class TraceBuilder:
+    """Append-only trace constructor with static-PC management.
+
+    Generators call :meth:`site` once per static instruction location to get
+    a stable PC, then emit dynamic records against it.  This mirrors how a
+    real binary has a fixed PC per instruction while executing it many times.
+    """
+
+    def __init__(self, name: str = "", pc_base: int = _PC_BASE) -> None:
+        self.name = name
+        self._iclass: list[int] = []
+        self._pc: list[int] = []
+        self._addr: list[int] = []
+        self._taken: list[bool] = []
+        self._sites: Dict[str, int] = {}
+        self._next_pc = pc_base
+
+    def __len__(self) -> int:
+        return len(self._iclass)
+
+    def site(self, label: str) -> int:
+        """Stable PC for the static instruction identified by ``label``."""
+        pc = self._sites.get(label)
+        if pc is None:
+            pc = self._next_pc
+            self._next_pc += _PC_STEP
+            self._sites[label] = pc
+        return pc
+
+    # -- emission helpers --------------------------------------------------
+    def emit(self, iclass: InstrClass, pc: int, addr: int = 0, taken: bool = False) -> None:
+        self._iclass.append(int(iclass))
+        self._pc.append(pc)
+        self._addr.append(addr)
+        self._taken.append(taken)
+
+    def load(self, label: str, addr: int) -> None:
+        self.emit(LOAD, self.site(label), addr)
+
+    def store(self, label: str, addr: int) -> None:
+        self.emit(STORE, self.site(label), addr)
+
+    def branch(self, label: str, taken: bool) -> None:
+        self.emit(BRANCH, self.site(label), taken=taken)
+
+    def sw_prefetch(self, label: str, addr: int) -> None:
+        self.emit(SW_PREFETCH, self.site(label), addr)
+
+    def ops(self, label: str, count: int, fp: bool = False) -> None:
+        """``count`` filler ALU ops, each a distinct static site under ``label``."""
+        cls = InstrClass.FP_OP if fp else InstrClass.INT_OP
+        for i in range(count):
+            self.emit(cls, self.site(f"{label}#{i}"))
+
+    def build(self) -> Trace:
+        return Trace(
+            np.asarray(self._iclass, dtype=np.uint8),
+            np.asarray(self._pc, dtype=np.uint64),
+            np.asarray(self._addr, dtype=np.uint64),
+            np.asarray(self._taken, dtype=np.bool_),
+            self.name,
+        )

@@ -1,0 +1,255 @@
+"""Workload framework: the benchmark stand-ins that drive the simulator.
+
+The paper evaluates 10 programs from Olden, SPEC95 and SPEC2000 compiled to
+Alpha (Table 2).  We cannot run Alpha binaries, so each benchmark is
+replaced by a generator that reproduces its *memory-locality class* —
+working-set size relative to the 8 KB L1 / 512 KB L2, pointer vs stride
+character, branch predictability, instruction mix — which is what the
+pollution filter's behaviour actually depends on.  Each generator is a pure
+function of (instruction budget, seed).
+
+``emit_access_block`` is the shared kernel every workload composes: it
+turns a pre-planned address sequence into a realistic instruction stream
+(loads/stores interleaved with ALU ops and loop branches).
+"""
+
+from __future__ import annotations
+
+import abc
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Type
+
+import numpy as np
+
+from repro.trace.stream import Trace, TraceBuilder
+
+
+@dataclass(frozen=True)
+class WorkloadInfo:
+    """Table 2 row: provenance and the paper's measured miss rates."""
+
+    name: str
+    suite: str
+    input_set: str
+    paper_l1_miss: float
+    paper_l2_miss: float
+    description: str
+
+
+class Workload(abc.ABC):
+    """A benchmark stand-in producing deterministic traces."""
+
+    info: WorkloadInfo
+
+    @property
+    def name(self) -> str:
+        return self.info.name
+
+    @abc.abstractmethod
+    def _emit(self, builder: TraceBuilder, rng: np.random.Generator, n_insts: int) -> None:
+        """Append at least ``n_insts`` records to ``builder``."""
+
+    def init_regions(self) -> List[tuple]:
+        """``(label, base, bytes)`` regions the program initialises at start.
+
+        Real programs allocate and write their data structures before
+        computing on them, which is what leaves an L2-resident working set
+        L2-warm by the time the measured region begins.  Declared here (not
+        emitted inside :meth:`_emit`) so :meth:`generate` can skip the init
+        phase when the instruction budget is too small to also reach steady
+        state — short unit-test traces get the kernels only.
+        """
+        return []
+
+    def generate(self, n_insts: int = 100_000, seed: int = 0) -> Trace:
+        """Build a trace of ~``n_insts`` dynamic instructions.
+
+        The result may slightly exceed ``n_insts`` (generators finish their
+        current kernel iteration); it is never shorter.  The data-structure
+        init phase (see :meth:`init_regions`) is emitted first when it fits
+        within ~45% of the budget; experiments size their warmup window to
+        cover it.
+        """
+        if n_insts < 1:
+            raise ValueError("need a positive instruction budget")
+        builder = TraceBuilder(name=self.name)
+        # zlib.crc32, not hash(): str hashing is salted per process, and the
+        # trace must be a pure function of (name, seed) across processes.
+        rng = np.random.default_rng(seed ^ zlib.crc32(self.name.encode()))
+        regions = self.init_regions()
+        init_cost = sum(max(1, nbytes // 32) for _, _, nbytes in regions) * 2.2
+        if regions and init_cost <= 0.45 * n_insts:
+            for label, base, nbytes in regions:
+                emit_init_sweep(builder, rng, label, base, nbytes)
+        self._emit(builder, rng, n_insts)
+        if len(builder) < n_insts:
+            raise AssertionError(f"{self.name} generator under-produced")
+        trace = builder.build()
+        # A generator finishes its current kernel block, which can overshoot a
+        # small budget substantially; cap the excess (cutting a trace mid-block
+        # is exactly what interrupting a real program does).
+        limit = n_insts + 2048
+        return trace.head(limit) if len(trace) > limit else trace
+
+
+def emit_access_block(
+    builder: TraceBuilder,
+    rng: np.random.Generator,
+    label: str,
+    addresses: Iterable[int],
+    *,
+    store_fraction: float = 0.0,
+    ops_per_access: int = 2,
+    fp_ops: bool = False,
+    branch_every: int = 4,
+    branch_taken_rate: float = 0.95,
+    n_static_sites: int = 4,
+) -> None:
+    """Emit one kernel: a loop body walking ``addresses``.
+
+    Per address: a load (or store with probability ``store_fraction``) from
+    one of ``n_static_sites`` rotating static PCs, ``ops_per_access`` filler
+    ALU ops, and a loop branch every ``branch_every`` accesses whose outcome
+    is taken with ``branch_taken_rate`` (0.95 ≈ a predictable loop; lower
+    values model data-dependent control flow and feed the mispredict path).
+
+    Local (stack) addresses — those at or above :data:`STACK_BASE`, as
+    produced by :func:`mix_local_accesses` — are emitted from their own
+    static sites: real code accesses locals through different instructions
+    than it accesses data structures, and keeping the pools separate is what
+    lets a compiler (and our software-prefetch pass) see the data sites'
+    stable strides.
+    """
+    addresses = list(addresses)
+    n = len(addresses)
+    if n == 0:
+        return
+    store_draws = rng.random(n) < store_fraction
+    taken_draws = rng.random(n) < branch_taken_rate
+    cold_i = 0
+    local_i = 0
+    for i, addr in enumerate(addresses):
+        addr = int(addr)
+        if addr >= STACK_BASE:
+            site_label = f"{label}.loc{local_i % 2}"
+            local_i += 1
+        else:
+            site_label = f"{label}.d{cold_i % n_static_sites}"
+            cold_i += 1
+        if store_draws[i]:
+            builder.store(f"{site_label}.st", addr)
+        else:
+            builder.load(f"{site_label}.ld", addr)
+        if ops_per_access:
+            builder.ops(f"{site_label}.op", ops_per_access, fp=fp_ops)
+        if branch_every and i % branch_every == branch_every - 1:
+            builder.branch(f"{label}.br", bool(taken_draws[i]))
+
+
+#: Shared "stack" region: always-hot locals, spills, small temporaries.
+STACK_BASE = 0x7F80_0000
+
+
+def emit_init_sweep(
+    builder: TraceBuilder,
+    rng: np.random.Generator,
+    label: str,
+    base: int,
+    region_bytes: int,
+    line_bytes: int = 32,
+) -> None:
+    """Emit the benchmark's data-structure initialisation phase.
+
+    Real programs allocate and write their data before computing on it, so
+    by the time the measured region starts, an L2-resident structure is
+    L2-warm.  One store per cache line, in layout order — the cheapest
+    faithful model of ``malloc`` + initialise.  Generators call this first;
+    the experiment's warmup window is expected to cover it.
+    """
+    if region_bytes <= 0:
+        raise ValueError("region must be positive")
+    lines = max(1, region_bytes // line_bytes)
+    taken = rng.random(lines) < 0.98
+    for i in range(lines):
+        builder.store(f"{label}.init", base + i * line_bytes)
+        builder.ops(f"{label}.initop", 1)
+        if i % 8 == 7:
+            builder.branch(f"{label}.initbr", bool(taken[i]))
+
+
+def mix_local_accesses(
+    rng: np.random.Generator,
+    addresses: np.ndarray | list[int],
+    local_fraction: float,
+    stack_base: int = STACK_BASE,
+    slots: int = 96,
+    slot_bytes: int = 8,
+) -> np.ndarray:
+    """Interleave hot stack/local accesses into a cold address plan.
+
+    Real programs spend most of their references on stack frames, spilled
+    registers and small temporaries that stay L1-resident; the interesting
+    (cold) data structure accesses are a minority.  This helper inserts
+    local-slot accesses so that ``local_fraction`` of the resulting plan is
+    hot — the knob each workload uses to land near its Table 2 L1 miss rate.
+    The hot set spans ``slots * slot_bytes`` bytes (default 768 B ≈ a couple
+    of stack frames), far below any L1 size.
+    """
+    cold = np.asarray(addresses, dtype=np.uint64)
+    if not 0.0 <= local_fraction < 1.0:
+        raise ValueError("local_fraction must be in [0, 1)")
+    n_cold = len(cold)
+    if local_fraction == 0.0 or n_cold == 0:
+        return cold
+    n_local = int(round(n_cold * local_fraction / (1.0 - local_fraction)))
+    if n_local == 0:
+        return cold
+    local = (stack_base + rng.integers(0, slots, n_local) * slot_bytes).astype(np.uint64)
+    total = n_cold + n_local
+    out = np.empty(total, dtype=np.uint64)
+    cold_positions = (np.arange(n_cold, dtype=np.int64) * total) // n_cold
+    is_cold = np.zeros(total, dtype=bool)
+    is_cold[cold_positions] = True
+    out[is_cold] = cold
+    out[~is_cold] = local
+    return out
+
+
+class _Registry:
+    def __init__(self) -> None:
+        self._classes: Dict[str, Type[Workload]] = {}
+        self._order: List[str] = []
+
+    def register(self, cls: Type[Workload]) -> Type[Workload]:
+        name = cls.info.name
+        if name in self._classes:
+            raise ValueError(f"duplicate workload {name!r}")
+        self._classes[name] = cls
+        self._order.append(name)
+        return cls
+
+    def names(self) -> List[str]:
+        return list(self._order)
+
+    def create(self, name: str) -> Workload:
+        try:
+            return self._classes[name]()
+        except KeyError:
+            raise KeyError(f"unknown workload {name!r}; known: {self._order}") from None
+
+    def infos(self) -> List[WorkloadInfo]:
+        return [self._classes[n].info for n in self._order]
+
+
+REGISTRY = _Registry()
+register_workload = REGISTRY.register
+
+
+def get_workload(name: str) -> Workload:
+    return REGISTRY.create(name)
+
+
+def workload_names() -> List[str]:
+    """The 10 benchmarks in the paper's Table 2 order."""
+    return REGISTRY.names()

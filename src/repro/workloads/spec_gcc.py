@@ -1,0 +1,64 @@
+"""``gcc`` — SPEC95 C compiler (cp-decl.i input).
+
+Compilers are the canonical irregular integer workload: RTL nodes, symbol
+tables and hash chains are scattered across a megabyte-plus heap, accessed
+with Zipf-like popularity (a few tree roots and common symbols dominate)
+and connected by branchy, hard-to-predict control flow.  No prefetcher
+reads this pattern well: the paper singles ``gcc`` out as the program
+whose prefetches are so unpredictable that the filters end up removing
+most of them, good and bad alike (Section 5.2.1), making it the stress
+test for over-filtering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trace.stream import TraceBuilder
+from repro.trace.synth import linked_list_addresses, zipf_addresses
+from repro.workloads.base import (
+    Workload,
+    WorkloadInfo,
+    emit_access_block,
+    mix_local_accesses,
+    register_workload,
+)
+
+_HEAP_BASE = 0x1500_0000
+_N_OBJECTS = 10_000
+_OBJECT_BYTES = 32  # RTL node / symbol record, 320 KB heap
+_CHAIN_BASE = 0x2500_0000
+_CHAIN_BYTES = 96 * 1024
+
+
+@register_workload
+class Gcc(Workload):
+    info = WorkloadInfo(
+        name="gcc",
+        suite="spec95",
+        input_set="cp-decl.i",
+        paper_l1_miss=0.0551,
+        paper_l2_miss=0.0221,
+        description="zipf symbol-table probes + hash-chain walks, branchy",
+    )
+
+    def init_regions(self):
+        return [("heap", _HEAP_BASE, _N_OBJECTS * _OBJECT_BYTES), ("chains", _CHAIN_BASE, _CHAIN_BYTES)]
+
+    def _emit(self, builder: TraceBuilder, rng: np.random.Generator, n_insts: int) -> None:
+        n_chain_nodes = _CHAIN_BYTES // _OBJECT_BYTES
+        while len(builder) < n_insts:
+            # Symbol/RTL lookups: zipf-popular objects over a 768 KB heap,
+            # surrounded by the tree-walker's own locals.
+            probes = zipf_addresses(rng, _HEAP_BASE, _N_OBJECTS, _OBJECT_BYTES, 128, s=1.3)
+            emit_access_block(
+                builder, rng, "symtab", mix_local_accesses(rng, probes, 0.91),
+                store_fraction=0.1, ops_per_access=2,
+                branch_every=2, branch_taken_rate=0.82, n_static_sites=6,
+            )
+            # Hash-chain walks: short random chases through the chain arena.
+            chains = linked_list_addresses(rng, _CHAIN_BASE, n_chain_nodes, _OBJECT_BYTES, 48)
+            emit_access_block(
+                builder, rng, "hashchain", mix_local_accesses(rng, chains, 0.92),
+                ops_per_access=1, branch_every=3, branch_taken_rate=0.75, n_static_sites=3,
+            )

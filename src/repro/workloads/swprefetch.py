@@ -1,0 +1,124 @@
+"""Compiler emulation: software-prefetch insertion (``gcc -O4`` stand-in).
+
+The paper compiles with ``-O4``, which makes the Alpha compiler insert
+non-blocking prefetch loads for array references whose addresses it can
+prove — i.e. affine accesses driven by loop induction variables.  This
+pass reproduces that behaviour on a finished trace, using exactly the
+information a compiler has:
+
+* per static load PC, watch the address stream; when the stride has repeated
+  ``confidence`` consecutive times the access is treated
+  as provably affine (a real compiler proves this statically; observing a
+  stable stride at the same PC is the trace-level equivalent),
+* insert a ``SW_PREFETCH`` record immediately before the load targeting
+  ``addr + lookahead_lines`` cache lines down the stream (compilers
+  schedule the prefetch one/more iterations ahead inside the loop body),
+* emit at most one prefetch per cache line per PC (compilers strength-
+  reduce duplicate prefetches to the same line out of unrolled loops).
+
+Pointer-chasing loads never develop a stable stride and get nothing —
+matching the paper's observation that software prefetches are far fewer
+than hardware ones but considerably more accurate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.trace.record import LOAD, SW_PREFETCH
+from repro.trace.stream import Trace
+
+#: Synthetic PCs for inserted prefetch instructions live in their own page
+#: so they can never collide with generator-assigned PCs.
+_SW_PC_BASE = 0x0009_0000_0000
+
+
+@dataclass
+class _PCState:
+    last_addr: int = -1
+    stride: int = 0
+    stable: int = 0
+    last_pf_line: int = -1
+
+
+def insert_software_prefetches(
+    trace: Trace,
+    lookahead_lines: int = 4,
+    line_bytes: int = 32,
+    confidence: int = 1,
+) -> Trace:
+    """Return a new trace with compiler-style prefetches inserted.
+
+    ``lookahead_lines`` controls the prefetch distance in cache lines along
+    the detected stride direction; ``confidence`` is how many consecutive
+    constant-stride executions a PC needs before it earns prefetches.
+    """
+    if lookahead_lines < 1:
+        raise ValueError("lookahead must be at least one line")
+    if confidence < 1:
+        raise ValueError("confidence must be positive")
+
+    shift = line_bytes.bit_length() - 1
+    states: Dict[int, _PCState] = {}
+    pf_pc_of: Dict[int, int] = {}
+
+    out_iclass: list[int] = []
+    out_pc: list[int] = []
+    out_addr: list[int] = []
+    out_taken: list[bool] = []
+
+    iclass_col = trace.iclass
+    pc_col = trace.pc
+    addr_col = trace.addr
+    taken_col = trace.taken
+    load_value = int(LOAD)
+    swpf_value = int(SW_PREFETCH)
+
+    for i in range(len(trace)):
+        cls = int(iclass_col[i])
+        pc = int(pc_col[i])
+        addr = int(addr_col[i])
+        if cls == load_value:
+            st = states.get(pc)
+            if st is None:
+                st = states[pc] = _PCState()
+            if st.last_addr >= 0:
+                stride = addr - st.last_addr
+                if stride == st.stride and stride != 0:
+                    st.stable += 1
+                else:
+                    st.stride = stride
+                    st.stable = 0
+            st.last_addr = addr
+            if st.stable >= confidence and st.stride != 0:
+                # Provably affine: prefetch `lookahead_lines` lines ahead.
+                direction = 1 if st.stride > 0 else -1
+                target = addr + direction * lookahead_lines * line_bytes
+                target_line = target >> shift
+                if target > 0 and target_line != st.last_pf_line:
+                    st.last_pf_line = target_line
+                    sw_pc = pf_pc_of.setdefault(pc, _SW_PC_BASE + 4 * len(pf_pc_of))
+                    out_iclass.append(swpf_value)
+                    out_pc.append(sw_pc)
+                    out_addr.append(target)
+                    out_taken.append(False)
+        out_iclass.append(cls)
+        out_pc.append(pc)
+        out_addr.append(addr)
+        out_taken.append(bool(taken_col[i]))
+
+    return Trace(
+        np.asarray(out_iclass, dtype=np.uint8),
+        np.asarray(out_pc, dtype=np.uint64),
+        np.asarray(out_addr, dtype=np.uint64),
+        np.asarray(out_taken, dtype=np.bool_),
+        trace.name,
+    )
+
+
+def count_inserted(trace: Trace) -> int:
+    """Number of software-prefetch records present in a trace."""
+    return int((trace.iclass == int(SW_PREFETCH)).sum())

@@ -1,0 +1,26 @@
+"""Shared fixtures: small traces and configs sized for fast unit tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import SimulationConfig
+from repro.workloads import build_trace
+
+
+@pytest.fixture(scope="session")
+def small_config() -> SimulationConfig:
+    """Paper machine, no warmup — suitable for short functional tests."""
+    return SimulationConfig.paper_default()
+
+
+@pytest.fixture(scope="session")
+def em3d_trace():
+    """A small but non-trivial trace (pointer gathers + sw prefetches)."""
+    return build_trace("em3d", 12_000, seed=7)
+
+
+@pytest.fixture(scope="session")
+def ijpeg_trace():
+    """A stream-heavy trace (NSP-friendly)."""
+    return build_trace("ijpeg", 12_000, seed=7)

@@ -1,0 +1,110 @@
+"""Unit tests for analysis metrics, tables, and sweep drivers."""
+
+import math
+
+import pytest
+
+from repro.analysis.metrics import (
+    arithmetic_mean,
+    geometric_mean,
+    normalised,
+    percent_change,
+    reduction_percent,
+    safe_ratio,
+)
+from repro.analysis.report import Table, make_series, render_comparison
+from repro.analysis.sweep import FilterSetup, compare_filters, run_workload
+from repro.common.config import FilterKind, SimulationConfig
+
+
+class TestMetrics:
+    def test_reduction_percent(self):
+        assert reduction_percent(100, 3) == 97.0
+        assert reduction_percent(0, 5) == 0.0
+        assert reduction_percent(10, 12) == -20.0
+
+    def test_percent_change(self):
+        assert percent_change(2.0, 2.2) == pytest.approx(10.0)
+        assert percent_change(0, 5) == 0.0
+
+    def test_normalised(self):
+        assert normalised([2, 4], 4) == [0.5, 1.0]
+        assert normalised([2, 4], 0) == [0.0, 0.0]
+
+    def test_arithmetic_mean_skips_non_finite(self):
+        assert arithmetic_mean([1, 3, float("inf"), float("nan")]) == 2.0
+        assert arithmetic_mean([]) == 0.0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+        assert geometric_mean([2, 0, -3]) == 2.0
+        assert geometric_mean([]) == 0.0
+
+    def test_safe_ratio(self):
+        assert safe_ratio(4, 2) == 2
+        assert safe_ratio(4, 0) == math.inf
+        assert safe_ratio(0, 0) == 0.0
+
+
+class TestTable:
+    def test_render_with_mean(self):
+        t = Table("demo", ["bench", "ipc"])
+        t.add_row("a", [1.0])
+        t.add_row("b", [3.0])
+        text = t.render()
+        assert "demo" in text
+        assert "mean" in text
+        assert "2.000" in text
+
+    def test_row_width_validation(self):
+        t = Table("demo", ["bench", "x", "y"])
+        with pytest.raises(ValueError):
+            t.add_row("a", [1.0])
+
+    def test_special_floats(self):
+        t = Table("demo", ["bench", "ratio"], mean_row=False)
+        t.add_row("a", [float("inf")])
+        t.add_row("b", [float("nan")])
+        text = t.render()
+        assert "inf" in text and "-" in text
+
+    def test_render_comparison(self):
+        text = render_comparison("t", ["x", "y"], {"none": [1, 2], "pa": [3, 4]})
+        assert "none" in text and "pa" in text
+
+    def test_make_series(self):
+        results = {"a": 1.5, "b": 2.5}
+        assert make_series(["b", "a"], results, float) == [2.5, 1.5]
+
+
+class TestSweepDrivers:
+    N = 6000
+
+    def test_run_workload_dispatches_filters(self):
+        cfg = SimulationConfig.paper_default(FilterKind.PA)
+        r = run_workload("em3d", cfg, n_insts=self.N)
+        assert r.filter_name == "pa"
+
+    def test_run_workload_oracle_two_pass(self):
+        cfg = SimulationConfig.paper_default(FilterKind.ORACLE)
+        r = run_workload("em3d", cfg, n_insts=self.N)
+        assert r.filter_name == "oracle"
+        # the oracle must remove most bad prefetches
+        baseline = run_workload("em3d", SimulationConfig.paper_default(), n_insts=self.N)
+        assert r.prefetch.bad < baseline.prefetch.bad
+
+    def test_run_workload_static_two_pass(self):
+        cfg = SimulationConfig.paper_default(FilterKind.STATIC)
+        r = run_workload("em3d", cfg, n_insts=self.N)
+        assert r.filter_name == "static"
+        assert r.prefetch.filtered > 0
+
+    def test_compare_filters_keys(self):
+        cfg = SimulationConfig.paper_default()
+        out = compare_filters("ijpeg", cfg, n_insts=self.N)
+        assert set(out) == {FilterKind.NONE, FilterKind.PA, FilterKind.PC}
+        assert out[FilterKind.PA].filter_name == "pa"
+
+    def test_filter_setup_record(self):
+        s = FilterSetup("PA filter", FilterKind.PA)
+        assert s.label == "PA filter" and s.config is None

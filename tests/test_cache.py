@@ -1,0 +1,172 @@
+"""Unit tests for the set-associative cache with PIB/RIB bits."""
+
+import pytest
+
+from repro.common.config import CacheConfig
+from repro.mem.cache import Cache, EvictedLine, FillSource
+
+
+def direct_mapped(size=1024, line=32):
+    return Cache(CacheConfig(size_bytes=size, line_bytes=line, assoc=1), "l1")
+
+
+def four_way(size=4096, line=32):
+    return Cache(CacheConfig(size_bytes=size, line_bytes=line, assoc=4), "l2")
+
+
+class TestBasicOperation:
+    def test_miss_then_hit(self):
+        c = direct_mapped()
+        hit, _ = c.access(5, False, 0)
+        assert not hit
+        c.fill(5, 0)
+        hit, _ = c.access(5, False, 1)
+        assert hit
+
+    def test_line_address(self):
+        c = direct_mapped(line=32)
+        assert c.line_address(0x40) == 2
+
+    def test_occupancy(self):
+        c = direct_mapped(size=128)  # 4 lines
+        for i in range(3):
+            c.fill(i, i)
+        assert c.occupancy == 3
+
+    def test_contains(self):
+        c = direct_mapped()
+        assert not c.contains(9)
+        c.fill(9, 0)
+        assert c.contains(9)
+
+
+class TestEviction:
+    def test_direct_mapped_conflict(self):
+        c = direct_mapped(size=1024, line=32)  # 32 sets
+        c.fill(0, 0)
+        evicted = c.fill(32, 1)  # same set (0), conflicts
+        assert evicted is not None
+        assert evicted.line_addr == 0
+
+    def test_eviction_callback(self):
+        c = direct_mapped(size=1024)
+        seen = []
+        c.on_evict = seen.append
+        c.fill(0, 0)
+        c.fill(32, 1)
+        assert len(seen) == 1 and seen[0].line_addr == 0
+
+    def test_lru_within_set(self):
+        c = four_way(size=4 * 32 * 4)  # 4 sets, 4 ways
+        for i in range(4):
+            c.fill(i * 4, i)  # all land in set 0
+        c.access(0, False, 10)  # refresh line 0
+        evicted = c.fill(16, 11)
+        assert evicted.line_addr == 4  # line 4 was LRU
+
+    def test_fill_prefers_invalid_way(self):
+        c = four_way(size=4 * 32 * 4)
+        c.fill(0, 0)
+        assert c.fill(4, 1) is None  # invalid ways remain
+
+    def test_dirty_tracked_through_eviction(self):
+        c = direct_mapped(size=1024)
+        c.fill(0, 0)
+        c.access(0, True, 1)  # store marks dirty
+        evicted = c.fill(32, 2)
+        assert evicted.dirty
+
+
+class TestPrefetchBits:
+    def test_pib_set_on_prefetch_fill(self):
+        c = direct_mapped()
+        c.fill(7, 0, FillSource.NSP, trigger_pc=0x400)
+        pib, rib, _ = c.probe_bits(7)
+        assert pib and not rib
+
+    def test_demand_fill_clears_pib(self):
+        c = direct_mapped()
+        c.fill(7, 0, FillSource.DEMAND)
+        pib, rib, _ = c.probe_bits(7)
+        assert not pib
+
+    def test_rib_set_on_first_use(self):
+        c = direct_mapped()
+        c.fill(7, 0, FillSource.SDP)
+        hit, first = c.access(7, False, 1)
+        assert hit and first
+        hit, first = c.access(7, False, 2)
+        assert hit and not first  # only the first reference reports
+
+    def test_eviction_carries_feedback_triple(self):
+        c = direct_mapped(size=1024)
+        c.fill(0, 0, FillSource.SOFTWARE, trigger_pc=0xABC)
+        c.access(0, False, 1)
+        ev = c.fill(32, 2)
+        assert ev.pib and ev.rib
+        assert ev.trigger_pc == 0xABC
+        assert ev.source is FillSource.SOFTWARE
+
+    def test_unreferenced_prefetch_evicts_with_rib_clear(self):
+        c = direct_mapped(size=1024)
+        c.fill(0, 0, FillSource.NSP, trigger_pc=1)
+        ev = c.fill(32, 1)
+        assert ev.pib and not ev.rib
+
+
+class TestNspTag:
+    def test_consume_clears(self):
+        c = direct_mapped()
+        c.fill(3, 0, FillSource.NSP, nsp_tag=True)
+        assert c.consume_nsp_tag(3)
+        assert not c.consume_nsp_tag(3)  # one-shot
+
+    def test_absent_line(self):
+        assert not direct_mapped().consume_nsp_tag(5)
+
+
+class TestDuplicateFill:
+    def test_refreshes_not_duplicates(self):
+        c = direct_mapped()
+        c.fill(4, 0)
+        assert c.fill(4, 1) is None
+        assert c.occupancy == 1
+        assert c.stats.get("duplicate_fill") == 1
+
+    def test_duplicate_fill_never_downgrades_demand(self):
+        c = direct_mapped()
+        c.fill(4, 0, FillSource.DEMAND)
+        c.fill(4, 1, FillSource.NSP)
+        pib, _, _ = c.probe_bits(4)
+        assert not pib  # stays a demand line
+
+
+class TestFlushInvalidate:
+    def test_flush_yields_all_and_empties(self):
+        c = direct_mapped(size=1024)
+        for i in range(5):
+            c.fill(i, i, FillSource.NSP, trigger_pc=i)
+        records = list(c.flush())
+        assert len(records) == 5
+        assert c.occupancy == 0
+
+    def test_flush_fires_callback(self):
+        c = direct_mapped()
+        seen = []
+        c.on_evict = seen.append
+        c.fill(1, 0)
+        list(c.flush())
+        assert len(seen) == 1
+
+    def test_invalidate_returns_record_silently(self):
+        c = direct_mapped()
+        seen = []
+        c.on_evict = seen.append
+        c.fill(1, 0, FillSource.NSP)
+        rec = c.invalidate(1)
+        assert rec is not None and rec.pib
+        assert not seen  # no callback
+        assert not c.contains(1)
+
+    def test_invalidate_missing(self):
+        assert direct_mapped().invalidate(99) is None

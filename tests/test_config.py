@@ -1,0 +1,163 @@
+"""Unit tests for the configuration dataclasses (Table 1 fidelity + validation)."""
+
+import pytest
+
+from repro.common.config import (
+    CacheConfig,
+    FilterConfig,
+    FilterKind,
+    HierarchyConfig,
+    PrefetchBufferConfig,
+    PrefetchConfig,
+    ProcessorConfig,
+    SimulationConfig,
+)
+
+
+class TestCacheConfig:
+    def test_paper_l1_geometry(self):
+        l1 = SimulationConfig.paper_default().hierarchy.l1
+        assert l1.size_bytes == 8 * 1024
+        assert l1.line_bytes == 32
+        assert l1.ways == 1  # direct-mapped
+        assert l1.num_sets == 256
+        assert l1.latency == 1
+        assert l1.ports == 3
+
+    def test_paper_l2_geometry(self):
+        l2 = SimulationConfig.paper_default().hierarchy.l2
+        assert l2.size_bytes == 512 * 1024
+        assert l2.ways == 4
+        assert l2.num_sets == 4096
+        assert l2.latency == 15
+
+    def test_fully_associative_shorthand(self):
+        c = CacheConfig(size_bytes=512, line_bytes=32, assoc=0)
+        assert c.ways == 16
+        assert c.num_sets == 1
+
+    def test_line_address_strips_offset(self):
+        c = CacheConfig(size_bytes=8 * 1024, line_bytes=32)
+        assert c.line_address(0) == 0
+        assert c.line_address(31) == 0
+        assert c.line_address(32) == 1
+        assert c.line_address(0x1000) == 0x80
+
+    def test_set_index_wraps(self):
+        c = CacheConfig(size_bytes=8 * 1024, line_bytes=32, assoc=1)
+        assert c.set_index(0) == 0
+        assert c.set_index(256) == 0
+        assert c.set_index(257) == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(size_bytes=100, line_bytes=32),  # not line multiple
+            dict(size_bytes=8192, line_bytes=33),  # non-pow2 line
+            dict(size_bytes=8192, line_bytes=32, latency=0),
+            dict(size_bytes=8192, line_bytes=32, ports=0),
+            dict(size_bytes=96, line_bytes=32, assoc=1),  # 3 sets: non-pow2
+        ],
+    )
+    def test_invalid_geometry_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            CacheConfig(**kwargs)
+
+
+class TestHierarchyConfig:
+    def test_line_size_must_match(self):
+        with pytest.raises(ValueError):
+            HierarchyConfig(
+                l1=CacheConfig(size_bytes=8192, line_bytes=32),
+                l2=CacheConfig(size_bytes=65536, line_bytes=64),
+            )
+
+    def test_paper_memory_latency(self):
+        assert HierarchyConfig().memory_latency == 150
+
+
+class TestProcessorConfig:
+    def test_paper_defaults(self):
+        p = ProcessorConfig()
+        assert p.issue_width == 8
+        assert p.rob_entries == 128
+        assert p.lsq_entries == 64
+        assert p.branch_predictor_entries == 2048
+        assert p.btb_sets == 4096 and p.btb_ways == 4
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            ProcessorConfig(issue_width=0)
+
+
+class TestFilterConfig:
+    def test_paper_table_is_1kb(self):
+        f = FilterConfig(kind=FilterKind.PA)
+        assert f.table_entries == 4096
+        assert f.table_bytes == 1024
+
+    def test_counter_range_validated(self):
+        with pytest.raises(ValueError):
+            FilterConfig(initial_value=4, counter_bits=2)
+        with pytest.raises(ValueError):
+            FilterConfig(threshold=0)
+
+    def test_non_pow2_table_rejected(self):
+        with pytest.raises(ValueError):
+            FilterConfig(table_entries=1000)
+
+
+class TestSimulationConfig:
+    def test_paper_variants(self):
+        c32 = SimulationConfig.paper_32kb()
+        assert c32.hierarchy.l1.size_bytes == 32 * 1024
+        assert c32.hierarchy.l1.latency == 4
+        c16 = SimulationConfig.paper_16kb()
+        assert c16.hierarchy.l1.size_bytes == 16 * 1024
+
+    @pytest.mark.parametrize("ports,latency", [(3, 1), (4, 2), (5, 3)])
+    def test_port_sweep_latencies(self, ports, latency):
+        c = SimulationConfig.paper_ports(ports)
+        assert c.hierarchy.l1.ports == ports
+        assert c.hierarchy.l1.latency == latency
+
+    def test_port_sweep_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            SimulationConfig.paper_ports(6)
+
+    def test_with_helpers_return_copies(self):
+        base = SimulationConfig.paper_default()
+        derived = base.with_filter(kind=FilterKind.PC).with_warmup(100)
+        assert base.filter.kind is FilterKind.NONE
+        assert derived.filter.kind is FilterKind.PC
+        assert derived.warmup_instructions == 100
+        assert base.warmup_instructions == 0
+
+    def test_warmup_validation(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(warmup_instructions=-1)
+        with pytest.raises(ValueError):
+            SimulationConfig(warmup_instructions=100, max_instructions=50)
+
+    def test_with_buffer(self):
+        c = SimulationConfig.paper_default().with_buffer()
+        assert c.prefetch_buffer.enabled
+        assert c.prefetch_buffer.entries == 16
+
+    def test_describe_mentions_table1_values(self):
+        text = SimulationConfig.paper_default().describe()
+        assert "8 inst/cycle" in text
+        assert "128 entries" in text
+        assert "direct-mapped" in text
+        assert "150 core cycles" in text
+
+    def test_buffer_config_validation(self):
+        with pytest.raises(ValueError):
+            PrefetchBufferConfig(entries=0)
+
+    def test_prefetch_config_validation(self):
+        with pytest.raises(ValueError):
+            PrefetchConfig(queue_entries=0)
+        with pytest.raises(ValueError):
+            PrefetchConfig(degree=0)
+        assert not PrefetchConfig(nsp=False, sdp=False, software=False).any_enabled

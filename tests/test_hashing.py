@@ -1,0 +1,57 @@
+"""Unit tests for the table-index hash functions."""
+
+import pytest
+
+from repro.common.hashing import (
+    available_schemes,
+    fold_xor,
+    modulo_hash,
+    multiplicative_hash,
+    table_index,
+)
+
+
+class TestFoldXor:
+    def test_small_value_passthrough(self):
+        assert fold_xor(5, 12) == 5
+
+    def test_folds_upper_bits(self):
+        # 1 << 12 folds onto bit 0 for a 12-bit index
+        assert fold_xor(1 << 12, 12) == 1
+
+    def test_range(self):
+        for v in (0, 1, 0xDEADBEEF, (1 << 64) - 1):
+            assert 0 <= fold_xor(v, 12) < (1 << 12)
+
+    def test_distinguishes_aliased_moduli(self):
+        # Values congruent mod 2^12 but different above should usually differ.
+        a, b = 0x1000_0123, 0x2000_0123
+        assert modulo_hash(a, 12) == modulo_hash(b, 12)
+        assert fold_xor(a, 12) != fold_xor(b, 12)
+
+
+class TestMultiplicative:
+    def test_range(self):
+        for v in (0, 1, 7, 1 << 40):
+            assert 0 <= multiplicative_hash(v, 12) < (1 << 12)
+
+    def test_spreads_sequential_keys(self):
+        indices = {multiplicative_hash(i, 12) for i in range(256)}
+        assert len(indices) > 200  # near-uniform spread
+
+
+class TestTableIndex:
+    def test_one_entry_table(self):
+        assert table_index(12345, 1) == 0
+
+    @pytest.mark.parametrize("scheme", available_schemes())
+    def test_all_schemes_in_range(self, scheme):
+        for v in (0, 3, 0xFFFF_FFFF, 1 << 50):
+            assert 0 <= table_index(v, 4096, scheme) < 4096
+
+    def test_unknown_scheme_raises(self):
+        with pytest.raises(ValueError):
+            table_index(1, 64, "sha256")
+
+    def test_deterministic(self):
+        assert table_index(99, 4096) == table_index(99, 4096)

@@ -1,0 +1,152 @@
+"""Unit tests for the composed memory hierarchy."""
+
+import pytest
+
+from repro.common.config import CacheConfig, HierarchyConfig, PrefetchBufferConfig
+from repro.mem.bus import TransferKind
+from repro.mem.cache import FillSource
+from repro.mem.hierarchy import MemoryHierarchy
+
+
+def small_hierarchy(**kwargs) -> MemoryHierarchy:
+    cfg = HierarchyConfig(
+        l1=CacheConfig(size_bytes=512, line_bytes=32, assoc=1, latency=1, ports=2),
+        l2=CacheConfig(size_bytes=4096, line_bytes=32, assoc=4, latency=15),
+        memory_latency=150,
+        mshr_entries=8,
+    )
+    return MemoryHierarchy(cfg, **kwargs)
+
+
+class TestDemandPath:
+    def test_l1_hit_latency(self):
+        h = small_hierarchy()
+        h.demand_access(0x40, False, 0)  # miss, fills
+        r = h.demand_access(0x40, False, 300)
+        assert r.l1_hit
+        assert r.latency == 1
+
+    def test_cold_miss_goes_to_memory(self):
+        h = small_hierarchy()
+        r = h.demand_access(0x40, False, 0)
+        assert not r.l1_hit and r.l2_hit is False
+        # port grant(0) + L1(1) + L2(15) + bus(1) + memory(150)
+        assert r.latency >= 1 + 15 + 150
+
+    def test_l2_hit_latency(self):
+        h = small_hierarchy()
+        h.demand_access(0x40, False, 0)
+        # Evict 0x40 from tiny L1 by touching the conflicting line.
+        h.demand_access(0x40 + 512, False, 200)
+        r = h.demand_access(0x40, False, 400)
+        assert not r.l1_hit and r.l2_hit is True
+        assert r.latency == 1 + 15  # L1 probe + L2 access
+
+    def test_same_line_offsets_share_line(self):
+        h = small_hierarchy()
+        h.demand_access(0x40, False, 0)
+        r = h.demand_access(0x5C, False, 300)  # same 32B line
+        assert r.l1_hit
+
+    def test_mshr_merge_on_pending_line(self):
+        h = small_hierarchy()
+        first = h.demand_access(0x40, False, 0)
+        # Second access while the fill is in flight pays only the remainder.
+        second = h.demand_access(0x40, True, first.grant + 10)
+        assert second.l1_hit and second.merged
+        assert second.complete <= first.complete + h.config.l1.latency + 2
+
+    def test_writeback_traffic_on_dirty_eviction(self):
+        h = small_hierarchy()
+        h.demand_access(0x40, True, 0)  # dirty fill
+        h.demand_access(0x40 + 512, False, 300)  # conflicts, evicts dirty line
+        assert h.l1_bus.lines(TransferKind.WRITEBACK) == 1
+
+
+class TestPrefetchPath:
+    def test_duplicate_detection(self):
+        h = small_hierarchy()
+        h.demand_access(0x40, False, 0)
+        assert h.is_duplicate_prefetch(h.l1.line_address(0x40), 300)
+        assert not h.is_duplicate_prefetch(999, 300)
+
+    def test_pending_line_is_duplicate(self):
+        h = small_hierarchy()
+        line = 77
+        h.issue_prefetch(line, 0, FillSource.NSP, 0x400)
+        assert h.is_duplicate_prefetch(line, 1)
+
+    def test_prefetch_fills_l1_with_bits(self):
+        h = small_hierarchy()
+        h.issue_prefetch(5, 0, FillSource.NSP, 0x400, nsp_tag=True)
+        pib, rib, tag = h.l1.probe_bits(5)
+        assert pib and not rib and tag
+
+    def test_prefetch_counts_traffic(self):
+        h = small_hierarchy()
+        h.issue_prefetch(5, 0, FillSource.NSP, 0)
+        assert h.l1_bus.lines(TransferKind.PREFETCH_FILL) == 1
+        assert h.mem_bus.lines(TransferKind.PREFETCH_FILL) == 1  # L2 missed
+
+    def test_prefetch_l2_hit_flag(self):
+        h = small_hierarchy()
+        h.demand_access(0x40, False, 0)
+        h.demand_access(0x40 + 512, False, 300)  # evict from L1, stays in L2
+        out = h.issue_prefetch(h.l1.line_address(0x40), 600, FillSource.SDP, 0)
+        assert out.l2_hit
+
+
+class TestPrefetchBuffer:
+    def buffered(self):
+        return small_hierarchy(buffer_config=PrefetchBufferConfig(enabled=True, entries=2))
+
+    def test_prefetch_goes_to_buffer_not_l1(self):
+        h = self.buffered()
+        h.issue_prefetch(5, 0, FillSource.NSP, 0)
+        assert not h.l1.contains(5)
+        assert h.buffer.contains(5)
+
+    def test_demand_promotes_from_buffer(self):
+        h = self.buffered()
+        h.issue_prefetch(5, 0, FillSource.NSP, 0x99)
+        r = h.demand_access(5 * 32, False, 300)
+        assert r.buffer_hit
+        assert h.l1.contains(5)
+        pib, rib, _ = h.l1.probe_bits(5)
+        assert pib and rib  # promoted line is a referenced prefetch
+
+    def test_buffer_eviction_callback(self):
+        h = self.buffered()
+        seen = []
+        h.on_buffer_evict = seen.append
+        for line in (1, 2, 3):
+            h.issue_prefetch(line, 0, FillSource.NSP, 0)
+        assert len(seen) == 1 and seen[0].line_addr == 1
+
+
+class TestDrain:
+    def test_drain_empties_l1(self):
+        h = small_hierarchy()
+        h.demand_access(0x40, False, 0)
+        h.drain()
+        assert h.l1.occupancy == 0
+
+    def test_drain_classifies_buffer_residents(self):
+        h = small_hierarchy(buffer_config=PrefetchBufferConfig(enabled=True, entries=4))
+        seen = []
+        h.on_buffer_evict = seen.append
+        h.issue_prefetch(1, 0, FillSource.NSP, 0)
+        h.drain()
+        assert len(seen) == 1
+
+
+class TestCounters:
+    def test_demand_counts(self):
+        h = small_hierarchy()
+        h.demand_access(0x40, False, 0)
+        h.demand_access(0x40, False, 300)
+        h.demand_access(0x80, True, 600)
+        assert h.l1_demand_accesses() == 3
+        assert h.l1_demand_misses() == 2
+        assert h.l2_demand_accesses() == 2
+        assert h.l2_demand_misses() == 2

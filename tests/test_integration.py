@@ -1,0 +1,101 @@
+"""Integration tests: whole-system behaviours the figures depend on.
+
+These run small-scale versions of the paper's experiments and assert the
+directional results; the full-scale equivalents live in benchmarks/.
+"""
+
+import pytest
+
+from repro.analysis.sweep import run_workload
+from repro.common.config import FilterKind, SimulationConfig
+
+N = 25_000
+WARM = 8_000
+
+
+def cfg(kind=FilterKind.NONE, **prefetch):
+    c = SimulationConfig.paper_default(kind).with_warmup(WARM)
+    return c.with_prefetch(**prefetch) if prefetch else c
+
+
+class TestFilterEffects:
+    def test_filters_cut_bad_prefetches_em3d(self):
+        none = run_workload("em3d", cfg(), N)
+        pa = run_workload("em3d", cfg(FilterKind.PA), N)
+        pc = run_workload("em3d", cfg(FilterKind.PC), N)
+        assert pa.prefetch.bad < none.prefetch.bad * 0.5
+        assert pc.prefetch.bad < none.prefetch.bad * 0.5
+
+    def test_filters_improve_polluted_ipc(self):
+        none = run_workload("em3d", cfg(), N)
+        pa = run_workload("em3d", cfg(FilterKind.PA), N)
+        assert pa.ipc > none.ipc
+
+    def test_filter_reduces_prefetch_traffic(self):
+        none = run_workload("em3d", cfg(), N)
+        pa = run_workload("em3d", cfg(FilterKind.PA), N)
+        assert pa.prefetch_line_traffic < none.prefetch_line_traffic
+
+    def test_oracle_beats_no_filter_on_polluted_bench(self):
+        none = run_workload("em3d", cfg(), N)
+        oracle = run_workload("em3d", cfg(FilterKind.ORACLE), N)
+        assert oracle.ipc > none.ipc
+        assert oracle.prefetch.bad < none.prefetch.bad
+
+    def test_adaptive_spares_accurate_prefetching(self):
+        """On a stream bench (accurate prefetches) the adaptive filter
+        passes more prefetches through than the always-on PA filter."""
+        pa = run_workload("ijpeg", cfg(FilterKind.PA), N)
+        ad = run_workload("ijpeg", cfg(FilterKind.ADAPTIVE), N)
+        assert ad.prefetch.issued >= pa.prefetch.issued
+
+    def test_static_filter_blocks_polluting_pcs(self):
+        static = run_workload("em3d", cfg(FilterKind.STATIC), N)
+        none = run_workload("em3d", cfg(), N)
+        assert static.prefetch.filtered > 0
+        assert static.prefetch.bad < none.prefetch.bad
+
+
+class TestMachineVariants:
+    def test_bigger_l1_fewer_misses(self):
+        small = run_workload("em3d", cfg(), N)
+        big_cfg = SimulationConfig.paper_32kb().with_warmup(WARM)
+        big = run_workload("em3d", big_cfg, N)
+        assert big.l1_miss_rate < small.l1_miss_rate
+
+    def test_prefetch_buffer_protects_l1(self):
+        """With the buffer, bad prefetches never displace L1 lines, so the
+        demand miss rate cannot be worse than prefetch-into-L1."""
+        plain = run_workload("em3d", cfg(), N)
+        buf_cfg = cfg().with_buffer()
+        buffered = run_workload("em3d", buf_cfg, N)
+        assert buffered.l1_miss_rate <= plain.l1_miss_rate * 1.05
+
+    def test_port_latency_tradeoff_runs(self):
+        for ports in (3, 4, 5):
+            c = SimulationConfig.paper_ports(ports).with_warmup(WARM)
+            r = run_workload("wave5", c, N)
+            assert r.cycles > 0
+
+    def test_stride_prefetcher_composes(self):
+        r = run_workload("fpppp", cfg(stride=True), N)
+        from repro.mem.cache import FillSource
+
+        assert r.per_source[FillSource.STRIDE].generated > 0
+        r.stats  # result intact
+
+
+class TestScalingBehaviour:
+    def test_more_instructions_more_cycles(self):
+        a = run_workload("gcc", cfg(), 12_000)
+        b = run_workload("gcc", cfg(), N)
+        assert b.cycles > a.cycles
+
+    def test_seed_invariance_of_shape(self):
+        """Different seeds shuffle addresses but preserve the benchmark's
+        qualitative character (miss-rate band)."""
+        rates = [
+            run_workload("perimeter", cfg(nsp=False, sdp=False, software=False), N, seed=s).l1_miss_rate
+            for s in (0, 1)
+        ]
+        assert abs(rates[0] - rates[1]) < 0.05

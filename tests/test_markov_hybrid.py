@@ -1,0 +1,137 @@
+"""Unit tests for the extension modules: Markov prefetcher and hybrid filter."""
+
+import pytest
+
+from repro.filters.hybrid import HybridFilter
+from repro.mem.cache import FillSource
+from repro.mem.hierarchy import AccessResult
+from repro.prefetch.base import PrefetchRequest
+from repro.prefetch.markov import MarkovPrefetcher
+
+
+def miss(line):
+    return AccessResult(line, 0, 160, False, False, False, False, False)
+
+
+def hit(line):
+    return AccessResult(line, 0, 1, True, None, False, False, False)
+
+
+class TestMarkov:
+    def test_learns_miss_succession(self):
+        m = MarkovPrefetcher(entries=16)
+        m.observe(0, miss(10))
+        m.observe(0, miss(20))  # 10 -> 20 learned
+        reqs = m.observe(0, miss(10))
+        assert [r.line_addr for r in reqs] == [20]
+
+    def test_ignores_hits(self):
+        m = MarkovPrefetcher()
+        assert m.observe(0, hit(10)) == []
+        assert m.table_size == 0
+
+    def test_mru_successor_ordering(self):
+        m = MarkovPrefetcher(entries=16, ways=2, degree=2)
+        for succ in (20, 30):
+            m.observe(0, miss(10))
+            m.observe(0, miss(succ))
+        reqs = m.observe(0, miss(10))
+        assert [r.line_addr for r in reqs] == [30, 20]  # MRU first
+
+    def test_ways_bound_successors(self):
+        m = MarkovPrefetcher(entries=16, ways=1, degree=2)
+        for succ in (20, 30, 40):
+            m.observe(0, miss(10))
+            m.observe(0, miss(succ))
+        reqs = m.observe(0, miss(10))
+        assert [r.line_addr for r in reqs] == [40]
+
+    def test_capacity_lru_eviction(self):
+        m = MarkovPrefetcher(entries=2)
+        m.observe(0, miss(1))
+        m.observe(0, miss(2))  # entry 1
+        m.observe(0, miss(3))  # entry 2
+        m.observe(0, miss(4))  # entry 3 -> evicts entry for 1
+        assert m.table_size <= 2
+        assert m.observe(0, miss(1)) == []  # forgotten
+
+    def test_repeating_chain_predicts_fully(self):
+        m = MarkovPrefetcher(entries=64)
+        chain = [5, 9, 3, 7]
+        for _ in range(2):
+            for line in chain:
+                m.observe(0, miss(line))
+        # On the third pass every miss predicts its successor.
+        predictions = []
+        for line in chain:
+            predictions += [r.line_addr for r in m.observe(0, miss(line))]
+        assert predictions == [9, 3, 7, 5]
+
+    def test_reset(self):
+        m = MarkovPrefetcher()
+        m.observe(0, miss(1))
+        m.observe(0, miss(2))
+        m.reset()
+        assert m.table_size == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MarkovPrefetcher(entries=0)
+        with pytest.raises(ValueError):
+            MarkovPrefetcher(ways=0)
+        with pytest.raises(ValueError):
+            MarkovPrefetcher(degree=0)
+
+
+def req(line=1, pc=0x400):
+    return PrefetchRequest(line, pc, FillSource.NSP)
+
+
+class TestHybridFilter:
+    def test_or_policy_needs_both_bad(self):
+        f = HybridFilter(entries_per_table=64, policy="or")
+        # PA view goes bad for line 5, PC view stays good for pc 0x400.
+        f.on_feedback(5, 0x999, False)
+        f.on_feedback(5, 0x999, False)
+        assert f.should_prefetch(req(line=5, pc=0x400))  # PC view saves it
+
+    def test_or_policy_drops_when_both_bad(self):
+        f = HybridFilter(entries_per_table=64, policy="or")
+        for _ in range(2):
+            f.on_feedback(5, 0x400, False)
+        assert not f.should_prefetch(req(line=5, pc=0x400))
+
+    def test_and_policy_drops_on_either(self):
+        f = HybridFilter(entries_per_table=64, policy="and")
+        f.on_feedback(5, 0x999, False)
+        f.on_feedback(5, 0x999, False)  # only the PA view of line 5 is bad
+        assert not f.should_prefetch(req(line=5, pc=0x400))
+
+    def test_both_tables_train(self):
+        f = HybridFilter(entries_per_table=64)
+        f.on_feedback(7, 0x500, True)
+        assert f.pa_table.stats.get("train_good") == 1
+        assert f.pc_table.stats.get("train_good") == 1
+
+    def test_storage_matches_paper_budget(self):
+        f = HybridFilter(entries_per_table=2048, counter_bits=2)
+        assert f.storage_bytes == 1024  # same 1KB as the single 4096-entry table
+
+    def test_reset(self):
+        f = HybridFilter(entries_per_table=64)
+        for _ in range(3):
+            f.on_feedback(5, 0x400, False)
+        f.reset()
+        assert f.should_prefetch(req(line=5, pc=0x400))
+
+    def test_policy_validated(self):
+        with pytest.raises(ValueError):
+            HybridFilter(policy="xor")
+
+    def test_end_to_end(self, em3d_trace, small_config):
+        from repro.core.simulator import Simulator
+
+        f = HybridFilter()
+        r = Simulator(small_config, filter_=f).run(em3d_trace)
+        assert r.filter_name == "hybrid"
+        assert r.prefetch.issued == r.prefetch.good + r.prefetch.bad

@@ -1,0 +1,71 @@
+"""Unit tests for the MSHR file."""
+
+import pytest
+
+from repro.mem.mshr import MSHRFile
+
+
+class TestAllocation:
+    def test_allocate_and_pending(self):
+        m = MSHRFile(4)
+        ready, stalled = m.allocate(1, ready=100, now=0)
+        assert ready == 100 and not stalled
+        assert m.pending_ready(1, now=50) == 100
+
+    def test_pending_expires(self):
+        m = MSHRFile(4)
+        m.allocate(1, 100, 0)
+        assert m.pending_ready(1, now=100) is None
+
+    def test_merge_keeps_earlier_ready(self):
+        m = MSHRFile(4)
+        m.allocate(1, 100, 0)
+        ready, stalled = m.allocate(1, 80, 0)
+        assert ready == 80 and not stalled
+        ready, _ = m.allocate(1, 200, 0)
+        assert ready == 80
+        assert m.stats.get("merged") == 2
+
+    def test_lazy_prune(self):
+        m = MSHRFile(2)
+        m.allocate(1, 10, 0)
+        m.allocate(2, 10, 0)
+        # at now=20 both are done; a new allocation finds room
+        ready, stalled = m.allocate(3, 30, 20)
+        assert ready == 30 and not stalled
+
+
+class TestStructuralHazard:
+    def test_full_file_stalls(self):
+        m = MSHRFile(1)
+        m.allocate(1, 100, 0)
+        ready, stalled = m.allocate(2, 50, 0)
+        assert stalled
+        assert ready == 50 + 100  # waits for the earliest entry (100)
+
+    def test_stall_stat(self):
+        m = MSHRFile(1)
+        m.allocate(1, 100, 0)
+        m.allocate(2, 50, 0)
+        assert m.stats.get("structural_stall") == 1
+        assert m.stats.get("structural_stall_cycles") == 100
+
+    def test_free_slots(self):
+        m = MSHRFile(3)
+        m.allocate(1, 100, 0)
+        m.allocate(2, 100, 0)
+        assert m.free_slots(0) == 1
+        assert m.free_slots(200) == 3  # pruned
+
+
+class TestValidation:
+    def test_capacity_positive(self):
+        with pytest.raises(ValueError):
+            MSHRFile(0)
+
+    def test_clear(self):
+        m = MSHRFile(2)
+        m.allocate(1, 100, 0)
+        m.clear()
+        assert m.pending_ready(1, 0) is None
+        assert len(m) == 0

@@ -1,0 +1,93 @@
+"""Unit tests for the L1 port arbiter and the bus model."""
+
+import pytest
+
+from repro.mem.bus import Bus, TransferKind
+from repro.mem.ports import PortArbiter
+
+
+class TestPortArbiter:
+    def test_demand_takes_earliest_port(self):
+        p = PortArbiter(2)
+        assert p.acquire_demand(10) == 10
+        assert p.acquire_demand(10) == 10
+        assert p.acquire_demand(10) == 11  # both busy at 10
+
+    def test_demand_wait_counted(self):
+        p = PortArbiter(1)
+        p.acquire_demand(0)
+        p.acquire_demand(0)
+        assert p.stats.get("demand_wait_cycles") == 1
+
+    def test_prefetch_only_takes_idle_port(self):
+        p = PortArbiter(1)
+        p.acquire_demand(5)  # port busy until 6
+        assert p.try_acquire_prefetch(5) is None
+        assert p.try_acquire_prefetch(6) == 6
+
+    def test_prefetch_denied_stat(self):
+        p = PortArbiter(1)
+        p.acquire_demand(5)
+        p.try_acquire_prefetch(5)
+        assert p.stats.get("prefetch_denied") == 1
+
+    def test_earliest_free(self):
+        p = PortArbiter(2)
+        p.acquire_demand(3)
+        assert p.earliest_free() == 0  # second port untouched
+
+    def test_reset(self):
+        p = PortArbiter(2)
+        p.acquire_demand(100)
+        p.reset()
+        assert p.earliest_free() == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PortArbiter(0)
+
+
+class TestBus:
+    def test_accounting(self):
+        b = Bus(32, 64)
+        b.transfer(TransferKind.DEMAND_FILL, 0)
+        b.transfer(TransferKind.PREFETCH_FILL, 0)
+        b.transfer(TransferKind.PREFETCH_FILL, 0)
+        assert b.lines(TransferKind.DEMAND_FILL) == 1
+        assert b.lines(TransferKind.PREFETCH_FILL) == 2
+        assert b.total_lines == 3
+        assert b.prefetch_fraction == pytest.approx(2 / 3)
+
+    def test_occupancy_serialises(self):
+        b = Bus(64, 64)  # 1 cycle per line
+        t1 = b.transfer(TransferKind.DEMAND_FILL, 0)
+        t2 = b.transfer(TransferKind.DEMAND_FILL, 0)
+        assert t1 == 1
+        assert t2 == 2  # queued behind the first
+        assert b.stats.get("queued_cycles") == 1
+
+    def test_wide_line_multi_cycle(self):
+        b = Bus(128, 64)  # 2 cycles per line
+        assert b.cycles_per_line == 2
+        assert b.transfer(TransferKind.WRITEBACK, 0) == 2
+
+    def test_occupancy_disabled(self):
+        b = Bus(64, 64, model_occupancy=False)
+        b.transfer(TransferKind.DEMAND_FILL, 0)
+        t = b.transfer(TransferKind.DEMAND_FILL, 0)
+        assert t == 1  # no queueing
+        assert b.stats.get("queued_cycles") == 0
+
+    def test_prefetch_fraction_empty(self):
+        assert Bus(32, 64).prefetch_fraction == 0.0
+
+    def test_reset(self):
+        b = Bus(64, 64)
+        b.transfer(TransferKind.DEMAND_FILL, 0)
+        b.reset()
+        assert b.total_lines == 0
+        assert b.transfer(TransferKind.DEMAND_FILL, 0) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Bus(0, 64)

@@ -1,0 +1,62 @@
+"""Unit tests for the dedicated fully-associative prefetch buffer (Section 5.5)."""
+
+import pytest
+
+from repro.mem.cache import FillSource
+from repro.mem.prefetch_buffer import PrefetchBuffer
+
+
+class TestInsertion:
+    def test_insert_and_contains(self):
+        b = PrefetchBuffer(4)
+        b.insert(1, 0x100, FillSource.NSP)
+        assert b.contains(1)
+        assert len(b) == 1
+
+    def test_fifo_eviction_when_full(self):
+        b = PrefetchBuffer(2)
+        b.insert(1, 0, FillSource.NSP)
+        b.insert(2, 0, FillSource.NSP)
+        victim = b.insert(3, 0, FillSource.NSP)
+        assert victim is not None and victim.line_addr == 1
+        assert not victim.referenced
+
+    def test_duplicate_insert_refreshes(self):
+        b = PrefetchBuffer(2)
+        b.insert(1, 0, FillSource.NSP)
+        b.insert(2, 0, FillSource.NSP)
+        assert b.insert(1, 0, FillSource.NSP) is None  # refresh, no eviction
+        victim = b.insert(3, 0, FillSource.NSP)
+        assert victim.line_addr == 2  # 1 was refreshed to MRU
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            PrefetchBuffer(0)
+
+
+class TestProbe:
+    def test_hit_removes_and_marks_referenced(self):
+        b = PrefetchBuffer(4)
+        b.insert(7, 0xAB, FillSource.SDP)
+        line = b.demand_probe(7)
+        assert line is not None
+        assert line.referenced
+        assert line.trigger_pc == 0xAB
+        assert line.source is FillSource.SDP
+        assert not b.contains(7)  # promoted out
+
+    def test_miss(self):
+        b = PrefetchBuffer(4)
+        assert b.demand_probe(9) is None
+        assert b.stats.get("probe_miss") == 1
+
+
+class TestDrain:
+    def test_drain_returns_residents_unreferenced(self):
+        b = PrefetchBuffer(4)
+        b.insert(1, 0, FillSource.NSP)
+        b.insert(2, 0, FillSource.SOFTWARE)
+        out = b.drain()
+        assert {line.line_addr for line in out} == {1, 2}
+        assert all(not line.referenced for line in out)
+        assert len(b) == 0

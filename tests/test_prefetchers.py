@@ -1,0 +1,189 @@
+"""Unit tests for the prefetch generators (NSP, SDP, stride, software, queue)."""
+
+import pytest
+
+from repro.mem.cache import FillSource
+from repro.mem.hierarchy import AccessResult
+from repro.prefetch.base import PrefetchRequest
+from repro.prefetch.nsp import NextSequencePrefetcher
+from repro.prefetch.queue import PrefetchQueue
+from repro.prefetch.sdp import ShadowDirectoryPrefetcher
+from repro.prefetch.software import SoftwarePrefetchUnit
+from repro.prefetch.stride import StridePrefetcher
+
+
+def access(line, l1_hit=True, l2_hit=None, tag_hit=False):
+    return AccessResult(
+        line_addr=line,
+        grant=0,
+        complete=1,
+        l1_hit=l1_hit,
+        l2_hit=l2_hit,
+        merged=False,
+        nsp_tag_hit=tag_hit,
+        buffer_hit=False,
+    )
+
+
+class TestPrefetchRequest:
+    def test_rejects_demand_source(self):
+        with pytest.raises(ValueError):
+            PrefetchRequest(1, 0x400, FillSource.DEMAND)
+
+    def test_rejects_negative_line(self):
+        with pytest.raises(ValueError):
+            PrefetchRequest(-1, 0x400, FillSource.NSP)
+
+
+class TestNSP:
+    def test_triggers_on_miss(self):
+        nsp = NextSequencePrefetcher(degree=1)
+        reqs = nsp.observe(0x400, access(10, l1_hit=False, l2_hit=True))
+        assert [r.line_addr for r in reqs] == [11]
+        assert reqs[0].trigger_pc == 0x400
+        assert reqs[0].source is FillSource.NSP
+
+    def test_triggers_on_tagged_hit(self):
+        nsp = NextSequencePrefetcher()
+        reqs = nsp.observe(0x400, access(10, l1_hit=True, tag_hit=True))
+        assert [r.line_addr for r in reqs] == [11]
+
+    def test_silent_on_untagged_hit(self):
+        nsp = NextSequencePrefetcher()
+        assert nsp.observe(0x400, access(10, l1_hit=True)) == []
+
+    def test_degree(self):
+        nsp = NextSequencePrefetcher(degree=3)
+        reqs = nsp.observe(0, access(10, l1_hit=False, l2_hit=False))
+        assert [r.line_addr for r in reqs] == [11, 12, 13]
+
+    def test_degree_validated(self):
+        with pytest.raises(ValueError):
+            NextSequencePrefetcher(degree=0)
+
+
+class TestSDP:
+    def test_learns_shadow_from_l2_sequence(self):
+        sdp = ShadowDirectoryPrefetcher()
+        sdp.observe(0, access(10, l1_hit=False, l2_hit=False))
+        sdp.observe(0, access(20, l1_hit=False, l2_hit=False))  # shadow[10] = 20
+        reqs = sdp.observe(0, access(10, l1_hit=False, l2_hit=True))
+        assert [r.line_addr for r in reqs] == [20]
+        assert reqs[0].source is FillSource.SDP
+
+    def test_ignores_l1_hits(self):
+        sdp = ShadowDirectoryPrefetcher()
+        assert sdp.observe(0, access(10, l1_hit=True)) == []
+        assert sdp.directory_size == 0
+
+    def test_confirmation_gates_reissue(self):
+        sdp = ShadowDirectoryPrefetcher()
+        sdp.observe(0, access(10, l1_hit=False, l2_hit=False))
+        sdp.observe(0, access(20, l1_hit=False, l2_hit=False))
+        assert len(sdp.observe(0, access(10, l1_hit=False, l2_hit=True))) == 1
+        # Prefetch of 20 never confirmed: second visit is suppressed.
+        assert sdp.observe(0, access(10, l1_hit=False, l2_hit=True)) == []
+        sdp.confirm_use(20)
+        assert len(sdp.observe(0, access(10, l1_hit=False, l2_hit=True))) == 1
+
+    def test_l2_eviction_drops_entry(self):
+        sdp = ShadowDirectoryPrefetcher()
+        sdp.observe(0, access(10, l1_hit=False, l2_hit=False))
+        sdp.observe(0, access(20, l1_hit=False, l2_hit=False))
+        sdp.on_l2_eviction(10)
+        assert sdp.observe(0, access(10, l1_hit=False, l2_hit=True)) == []
+
+    def test_reset(self):
+        sdp = ShadowDirectoryPrefetcher()
+        sdp.observe(0, access(10, l1_hit=False, l2_hit=False))
+        sdp.reset()
+        assert sdp.directory_size == 0
+
+
+class TestStride:
+    def test_learns_constant_stride(self):
+        s = StridePrefetcher(entries=64, line_bytes=32)
+        pc = 0x400
+        assert s.observe_address(pc, 1000) == []  # allocate
+        assert s.observe_address(pc, 1064) == []  # stride 64, initial->...
+        reqs = s.observe_address(pc, 1128)  # confirmed: steady
+        assert reqs and reqs[0].line_addr == (1128 + 64) >> 5
+
+    def test_zero_stride_never_predicts(self):
+        s = StridePrefetcher()
+        for _ in range(5):
+            out = s.observe_address(0x400, 1000)
+        assert out == []
+
+    def test_steady_broken_by_mismatch(self):
+        s = StridePrefetcher()
+        for a in (0, 64, 128):
+            s.observe_address(0x400, a)
+        assert s.observe_address(0x400, 5000) == []  # back to initial
+
+    def test_distinct_pcs_independent(self):
+        s = StridePrefetcher()
+        for a in (0, 64, 128):
+            s.observe_address(0x400, a)
+        assert s.observe_address(0x404, 4096) == []  # other PC allocates fresh
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StridePrefetcher(entries=100)
+        with pytest.raises(ValueError):
+            StridePrefetcher(degree=0)
+
+
+class TestSoftwareUnit:
+    def test_line_conversion(self):
+        u = SoftwarePrefetchUnit(line_bytes=32)
+        req = u.request(0x400, 0x1005)
+        assert req.line_addr == 0x1005 >> 5
+        assert req.trigger_pc == 0x400
+        assert req.source is FillSource.SOFTWARE
+        assert u.stats.get("executed") == 1
+
+
+class TestQueue:
+    def _req(self, line=1):
+        return PrefetchRequest(line, 0x400, FillSource.NSP)
+
+    def test_fifo_order(self):
+        q = PrefetchQueue(4)
+        q.push(self._req(1), 0)
+        q.push(self._req(2), 1)
+        assert q.pop(5).line_addr == 1
+        assert q.pop(5).line_addr == 2
+
+    def test_drop_when_full(self):
+        q = PrefetchQueue(2)
+        assert q.push(self._req(1), 0)
+        assert q.push(self._req(2), 0)
+        assert not q.push(self._req(3), 0)
+        assert q.stats.get("dropped_full") == 1
+        assert len(q) == 2
+
+    def test_queue_delay_recorded(self):
+        q = PrefetchQueue(4)
+        q.push(self._req(), 10)
+        q.pop(25)
+        assert q.stats.get("queue_delay_cycles") == 15
+
+    def test_peek_nondestructive(self):
+        q = PrefetchQueue(4)
+        q.push(self._req(9), 3)
+        req, enq = q.peek()
+        assert req.line_addr == 9 and enq == 3
+        assert len(q) == 1
+
+    def test_pending_and_clear(self):
+        q = PrefetchQueue(4)
+        q.push(self._req(1), 0)
+        q.push(self._req(2), 0)
+        assert [r.line_addr for r in q.pending_requests()] == [1, 2]
+        assert q.clear() == 2
+        assert len(q) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PrefetchQueue(0)

@@ -1,0 +1,209 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import CacheConfig, SimulationConfig
+from repro.common.hashing import table_index
+from repro.common.saturating import SaturatingCounterArray
+from repro.core.simulator import Simulator
+from repro.mem.cache import Cache, FillSource
+from repro.mem.mshr import MSHRFile
+from repro.prefetch.base import PrefetchRequest
+from repro.prefetch.queue import PrefetchQueue
+from repro.trace.record import InstrClass
+from repro.trace.stream import Trace, TraceBuilder
+from repro.workloads.base import mix_local_accesses
+
+
+class TestSaturatingCounterProperties:
+    @given(st.lists(st.tuples(st.integers(0, 15), st.booleans()), max_size=200))
+    def test_values_always_in_range(self, ops):
+        a = SaturatingCounterArray(16, bits=2, initial=2)
+        for idx, positive in ops:
+            a.update(idx, positive)
+            assert 0 <= a.value(idx) <= 3
+
+    @given(st.integers(1, 3), st.lists(st.booleans(), max_size=100))
+    def test_predict_matches_threshold(self, threshold, outcomes):
+        a = SaturatingCounterArray(4, bits=2, initial=2, threshold=threshold)
+        for o in outcomes:
+            a.update(0, o)
+        assert a.predict(0) == (a.value(0) >= threshold)
+
+    @given(st.lists(st.booleans(), min_size=4, max_size=50))
+    def test_histogram_mass_conserved(self, outcomes):
+        a = SaturatingCounterArray(8, bits=2)
+        for i, o in enumerate(outcomes):
+            a.update(i % 8, o)
+        assert a.histogram().sum() == 8
+
+
+class TestHashProperties:
+    @given(st.integers(0, 2**64 - 1), st.sampled_from([64, 1024, 4096]))
+    def test_index_in_range_all_schemes(self, value, entries):
+        for scheme in ("modulo", "fold_xor", "multiplicative"):
+            assert 0 <= table_index(value, entries, scheme) < entries
+
+    @given(st.integers(0, 2**64 - 1))
+    def test_deterministic(self, value):
+        assert table_index(value, 4096) == table_index(value, 4096)
+
+
+class TestCacheProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 200), st.booleans(), st.booleans()),
+            max_size=300,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_occupancy_and_conservation(self, ops):
+        """fills - evictions == occupancy, and occupancy never exceeds capacity."""
+        cache = Cache(CacheConfig(size_bytes=512, line_bytes=32, assoc=2), "t")
+        evictions = []
+        cache.on_evict = evictions.append
+        fills = 0
+        for t, (line, is_fill, is_write) in enumerate(ops):
+            if is_fill:
+                if not cache.contains(line):
+                    fills += 1
+                cache.fill(line, t, FillSource.NSP if is_write else FillSource.DEMAND)
+            else:
+                cache.access(line, is_write, t)
+            assert cache.occupancy <= cache.config.num_lines
+        assert fills - len(evictions) == cache.occupancy
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_flush_classifies_every_prefetched_line_once(self, lines):
+        cache = Cache(CacheConfig(size_bytes=256, line_bytes=32, assoc=1), "t")
+        classified = []
+        cache.on_evict = lambda ev: classified.append(ev) if ev.pib else None
+        issued = 0
+        for t, line in enumerate(lines):
+            if not cache.contains(line):
+                issued += 1
+                cache.fill(line, t, FillSource.NSP, trigger_pc=line)
+        list(cache.flush())
+        assert len(classified) == issued
+
+    @given(st.lists(st.integers(0, 60), max_size=150))
+    @settings(max_examples=40, deadline=None)
+    def test_hit_iff_contains(self, lines):
+        cache = Cache(CacheConfig(size_bytes=512, line_bytes=32, assoc=4), "t")
+        for t, line in enumerate(lines):
+            expected = cache.contains(line)
+            hit, _ = cache.access(line, False, t)
+            assert hit == expected
+            if not hit:
+                cache.fill(line, t)
+
+
+class TestMSHRProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 30), st.integers(1, 50), st.integers(0, 500)),
+            max_size=100,
+        )
+    )
+    def test_capacity_never_exceeded(self, allocs):
+        m = MSHRFile(4)
+        now = 0
+        for line, lat, gap in allocs:
+            now += gap
+            m.allocate(line, now + lat, now)
+            assert len(m) <= 4
+
+    @given(st.integers(1, 8), st.lists(st.integers(0, 20), min_size=1, max_size=40))
+    def test_pending_ready_respects_time(self, cap, lines):
+        m = MSHRFile(cap)
+        for i, line in enumerate(lines):
+            ready, _ = m.allocate(line, i + 10, i)
+            pending = m.pending_ready(line, i)
+            assert pending is None or pending > i
+
+
+class TestQueueProperties:
+    @given(st.lists(st.integers(0, 1000), max_size=150))
+    def test_fifo_order_and_capacity(self, lines):
+        q = PrefetchQueue(16)
+        accepted = []
+        for i, line in enumerate(lines):
+            req = PrefetchRequest(line, 0x400, FillSource.NSP)
+            if q.push(req, i):
+                accepted.append(line)
+            assert len(q) <= 16
+        popped = [q.pop(10**6).line_addr for _ in range(len(q))]
+        assert popped == accepted[: len(popped)]
+
+
+class TestTraceProperties:
+    records = st.lists(
+        st.tuples(
+            st.sampled_from(list(InstrClass)),
+            st.integers(0, 2**40),
+            st.integers(8, 2**40),
+            st.booleans(),
+        ),
+        min_size=1,
+        max_size=100,
+    )
+
+    @given(records)
+    @settings(max_examples=30, deadline=None)
+    def test_bytes_roundtrip(self, rows):
+        b = TraceBuilder("p")
+        for cls, pc, addr, taken in rows:
+            b.emit(cls, pc, addr, taken)
+        t = b.build()
+        t2 = Trace.from_bytes(t.to_bytes())
+        assert np.array_equal(t.iclass, t2.iclass)
+        assert np.array_equal(t.pc, t2.pc)
+        assert np.array_equal(t.addr, t2.addr)
+        assert np.array_equal(t.taken, t2.taken)
+
+    @given(records)
+    @settings(max_examples=30, deadline=None)
+    def test_class_counts_sum(self, rows):
+        b = TraceBuilder("p")
+        for cls, pc, addr, taken in rows:
+            b.emit(cls, pc, addr, taken)
+        t = b.build()
+        assert sum(t.class_counts().values()) == len(t)
+
+
+class TestMixerProperties:
+    @given(
+        st.lists(st.integers(8, 2**30), min_size=1, max_size=100),
+        st.floats(0.0, 0.95),
+    )
+    def test_cold_addresses_preserved_in_order(self, cold, fraction):
+        rng = np.random.default_rng(0)
+        cold_arr = np.array(cold, dtype=np.uint64)
+        mixed = mix_local_accesses(rng, cold_arr, fraction)
+        kept = [int(a) for a in mixed if a < 0x7F80_0000]
+        assert kept == cold
+
+    @given(st.floats(0.05, 0.9))
+    def test_fraction_respected(self, fraction):
+        rng = np.random.default_rng(1)
+        cold = np.arange(1, 400, dtype=np.uint64) * 64
+        mixed = mix_local_accesses(rng, cold, fraction)
+        hot_frac = float((mixed >= 0x7F80_0000).mean())
+        assert abs(hot_frac - fraction) < 0.08
+
+
+class TestEndToEndProperties:
+    @given(st.integers(0, 2**31), st.sampled_from(["em3d", "fpppp", "mcf"]))
+    @settings(max_examples=6, deadline=None)
+    def test_any_seed_simulates_cleanly(self, seed, workload):
+        """IPC bounded by issue width; prefetch conservation always holds."""
+        from repro.workloads import build_trace
+
+        trace = build_trace(workload, 2500, seed=seed)
+        sim = Simulator(SimulationConfig.paper_default())
+        result = sim.run(trace)  # run() asserts conservation internally
+        assert 0 < result.ipc <= 8.0
+        assert result.prefetch.issued == result.prefetch.good + result.prefetch.bad

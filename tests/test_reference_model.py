@@ -1,0 +1,104 @@
+"""Differential testing: the numpy-backed Cache against a plain-Python
+reference model under hypothesis-generated access sequences.
+
+The reference model is deliberately naive (dict of sets, explicit LRU
+lists) so its correctness is obvious by inspection; any divergence points
+at the optimised implementation.
+"""
+
+from typing import Dict, List, Optional, Tuple
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import CacheConfig
+from repro.mem.cache import Cache, FillSource
+
+
+class ReferenceCache:
+    """Obviously-correct set-associative LRU cache."""
+
+    def __init__(self, num_sets: int, ways: int) -> None:
+        self.num_sets = num_sets
+        self.ways = ways
+        # per set: list of (line_addr, pib, rib) in LRU->MRU order
+        self.sets: Dict[int, List[Tuple[int, bool, bool]]] = {}
+
+    def _set(self, line: int) -> List[Tuple[int, bool, bool]]:
+        return self.sets.setdefault(line % self.num_sets, [])
+
+    def contains(self, line: int) -> bool:
+        return any(entry[0] == line for entry in self._set(line))
+
+    def access(self, line: int) -> bool:
+        entries = self._set(line)
+        for i, (addr, pib, rib) in enumerate(entries):
+            if addr == line:
+                entries.pop(i)
+                entries.append((addr, pib, True if pib else rib))
+                return True
+        return False
+
+    def fill(self, line: int, prefetch: bool) -> Optional[Tuple[int, bool, bool]]:
+        entries = self._set(line)
+        for i, (addr, pib, rib) in enumerate(entries):
+            if addr == line:
+                entries.pop(i)
+                entries.append((addr, pib, rib))
+                return None
+        victim = None
+        if len(entries) >= self.ways:
+            victim = entries.pop(0)
+        entries.append((line, prefetch, False))
+        return victim
+
+
+OPS = st.lists(
+    st.tuples(
+        st.integers(0, 80),     # line address
+        st.booleans(),          # fill?
+        st.booleans(),          # prefetch-sourced fill?
+    ),
+    max_size=400,
+)
+
+
+class TestCacheAgainstReference:
+    @given(OPS)
+    @settings(max_examples=60, deadline=None)
+    def test_hits_and_contents_match(self, ops):
+        config = CacheConfig(size_bytes=1024, line_bytes=32, assoc=4)  # 8 sets x 4 ways
+        cache = Cache(config, "dut")
+        ref = ReferenceCache(config.num_sets, config.ways)
+        for t, (line, is_fill, is_prefetch) in enumerate(ops):
+            if is_fill:
+                dut_victim = cache.fill(
+                    line, t, FillSource.NSP if is_prefetch else FillSource.DEMAND
+                )
+                ref_victim = ref.fill(line, is_prefetch)
+                assert (dut_victim is None) == (ref_victim is None)
+                if dut_victim is not None:
+                    assert dut_victim.line_addr == ref_victim[0]
+                    assert dut_victim.pib == ref_victim[1]
+                    assert dut_victim.rib == ref_victim[2]
+            else:
+                dut_hit, _ = cache.access(line, False, t)
+                assert dut_hit == ref.access(line)
+            assert cache.contains(line) == ref.contains(line)
+
+    @given(OPS)
+    @settings(max_examples=30, deadline=None)
+    def test_direct_mapped_variant(self, ops):
+        config = CacheConfig(size_bytes=256, line_bytes=32, assoc=1)  # 8 sets x 1 way
+        cache = Cache(config, "dut")
+        ref = ReferenceCache(config.num_sets, config.ways)
+        for t, (line, is_fill, is_prefetch) in enumerate(ops):
+            if is_fill:
+                dv = cache.fill(line, t, FillSource.SDP if is_prefetch else FillSource.DEMAND)
+                rv = ref.fill(line, is_prefetch)
+                assert (dv is None) == (rv is None)
+                if dv is not None:
+                    assert (dv.line_addr, dv.pib, dv.rib) == rv
+            else:
+                hit, _ = cache.access(line, False, t)
+                assert hit == ref.access(line)

@@ -1,0 +1,65 @@
+"""Unit tests for replacement policies."""
+
+import numpy as np
+import pytest
+
+from repro.mem.replacement import FIFOPolicy, LRUPolicy, RandomPolicy, make_policy
+
+
+class TestLRU:
+    def test_victim_is_oldest_stamp(self):
+        p = LRUPolicy()
+        stamps = np.array([5, 2, 9, 7])
+        valid = np.ones(4, bool)
+        assert p.victim(valid, stamps) == 1
+
+    def test_access_refreshes(self):
+        p = LRUPolicy()
+        stamps = np.array([0, 0])
+        p.on_access(stamps, 1, 42)
+        assert stamps[1] == 42
+
+
+class TestFIFO:
+    def test_access_does_not_refresh(self):
+        p = FIFOPolicy()
+        stamps = np.array([1, 2])
+        p.on_access(stamps, 0, 99)
+        assert stamps[0] == 1
+
+    def test_fill_stamps(self):
+        p = FIFOPolicy()
+        stamps = np.array([0, 0])
+        p.on_fill(stamps, 0, 7)
+        assert stamps[0] == 7
+
+    def test_victim_oldest_fill(self):
+        p = FIFOPolicy()
+        assert p.victim(np.ones(3, bool), np.array([3, 1, 2])) == 1
+
+
+class TestRandom:
+    def test_deterministic_given_seed(self):
+        a = RandomPolicy(seed=3)
+        b = RandomPolicy(seed=3)
+        valid = np.ones(8, bool)
+        stamps = np.zeros(8)
+        seq_a = [a.victim(valid, stamps) for _ in range(20)]
+        seq_b = [b.victim(valid, stamps) for _ in range(20)]
+        assert seq_a == seq_b
+
+    def test_in_range(self):
+        p = RandomPolicy()
+        valid = np.ones(4, bool)
+        for _ in range(50):
+            assert 0 <= p.victim(valid, np.zeros(4)) < 4
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [("lru", LRUPolicy), ("fifo", FIFOPolicy), ("random", RandomPolicy)])
+    def test_make(self, name, cls):
+        assert isinstance(make_policy(name), cls)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_policy("plru")

@@ -1,0 +1,139 @@
+"""Unit tests for retirement windows (ROB/LSQ) and the prefetch classifier."""
+
+import pytest
+
+from repro.core.classifier import PrefetchClassifier, PrefetchTally
+from repro.core.lsq import LoadStoreQueue
+from repro.core.rob import ReorderBuffer, RetirementWindow
+from repro.mem.cache import EvictedLine, FillSource
+from repro.mem.prefetch_buffer import BufferedLine
+from repro.prefetch.base import PrefetchRequest
+
+
+class TestRetirementWindow:
+    def test_no_constraint_until_full(self):
+        w = RetirementWindow(4)
+        for t in (10, 20, 30):
+            w.push(t)
+        assert w.constraint() == 0
+
+    def test_constraint_is_oldest_retire(self):
+        w = RetirementWindow(4)
+        for t in (10, 20, 30, 40):
+            w.push(t)
+        assert w.constraint() == 10
+        w.push(50)
+        assert w.constraint() == 20
+
+    def test_occupancy_caps(self):
+        w = RetirementWindow(2)
+        for t in range(5):
+            w.push(t)
+        assert w.occupancy == 2
+
+    def test_reset(self):
+        w = RetirementWindow(2)
+        w.push(10)
+        w.push(20)
+        w.reset()
+        assert w.constraint() == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetirementWindow(0)
+
+    def test_subclasses(self):
+        assert isinstance(ReorderBuffer(8), RetirementWindow)
+        assert isinstance(LoadStoreQueue(8), RetirementWindow)
+
+
+def req(source=FillSource.NSP, line=1):
+    return PrefetchRequest(line, 0x400, source)
+
+
+def evicted(pib=True, rib=False, source=FillSource.NSP):
+    return EvictedLine(1, False, pib, rib, 0x400, source)
+
+
+class TestClassifier:
+    def test_lifecycle_counting(self):
+        c = PrefetchClassifier()
+        r = req()
+        c.on_generated(r)
+        c.on_issued(r)
+        c.on_l1_eviction(evicted(rib=True))
+        t = c.tally(FillSource.NSP)
+        assert t.generated == 1 and t.issued == 1 and t.good == 1 and t.bad == 0
+
+    def test_bad_classification(self):
+        c = PrefetchClassifier()
+        c.on_l1_eviction(evicted(rib=False))
+        assert c.tally(FillSource.NSP).bad == 1
+
+    def test_demand_evictions_ignored(self):
+        c = PrefetchClassifier()
+        c.on_l1_eviction(evicted(pib=False, source=FillSource.DEMAND))
+        assert c.total().classified == 0
+
+    def test_buffer_eviction_classified(self):
+        c = PrefetchClassifier()
+        c.on_buffer_eviction(BufferedLine(1, 0x400, FillSource.SDP, referenced=True))
+        assert c.tally(FillSource.SDP).good == 1
+
+    def test_per_source_isolation(self):
+        c = PrefetchClassifier()
+        c.on_filtered(req(FillSource.NSP))
+        c.on_squashed(req(FillSource.SDP))
+        c.on_dropped(req(FillSource.SOFTWARE))
+        assert c.tally(FillSource.NSP).filtered == 1
+        assert c.tally(FillSource.SDP).squashed == 1
+        assert c.tally(FillSource.SOFTWARE).dropped == 1
+
+    def test_conservation_check_passes(self):
+        c = PrefetchClassifier()
+        r = req()
+        c.on_generated(r)
+        c.on_issued(r)
+        c.on_l1_eviction(evicted(rib=False))
+        c.check_conservation()
+
+    def test_conservation_check_detects_leak(self):
+        c = PrefetchClassifier()
+        r = req()
+        c.on_generated(r)
+        c.on_issued(r)  # never classified
+        with pytest.raises(AssertionError):
+            c.check_conservation()
+
+    def test_snapshot_is_copy(self):
+        c = PrefetchClassifier()
+        snap = c.snapshot()
+        c.on_filtered(req())
+        assert snap[FillSource.NSP].filtered == 0
+
+
+class TestPrefetchTally:
+    def test_ratio(self):
+        t = PrefetchTally(good=4, bad=8)
+        assert t.bad_good_ratio == 2.0
+        assert t.accuracy == pytest.approx(1 / 3)
+
+    def test_ratio_degenerate(self):
+        assert PrefetchTally().bad_good_ratio == 0.0
+        assert PrefetchTally(bad=3).bad_good_ratio == float("inf")
+
+    def test_minus(self):
+        a = PrefetchTally(generated=10, issued=8, good=5, bad=3)
+        b = PrefetchTally(generated=4, issued=3, good=2, bad=1)
+        d = a.minus(b)
+        assert d.generated == 6 and d.good == 3 and d.bad == 2
+
+    def test_merged_with(self):
+        a = PrefetchTally(good=1).merged_with(PrefetchTally(bad=2))
+        assert a.good == 1 and a.bad == 2
+
+    def test_copy_independent(self):
+        a = PrefetchTally(good=1)
+        b = a.copy()
+        b.good = 99
+        assert a.good == 1

@@ -1,0 +1,81 @@
+"""Tests for trace sampling."""
+
+import numpy as np
+import pytest
+
+from repro.trace.sampling import sample_windows, sampling_error_estimate, systematic_sample
+from repro.trace.stream import TraceBuilder
+from repro.workloads import build_trace
+
+
+def long_trace(n=5000):
+    b = TraceBuilder("long")
+    for i in range(n):
+        b.load("ld", 0x1000 + (i % 512) * 32)
+    return b.build()
+
+
+class TestSampleWindows:
+    def test_count_and_size(self):
+        windows = sample_windows(long_trace(5000), window=500, count=4)
+        assert len(windows) == 4
+        assert all(len(w) == 500 for w in windows)
+
+    def test_evenly_spaced_disjoint(self):
+        t = long_trace(4000)
+        windows = sample_windows(t, window=200, count=4)
+        # window k starts at k * (n // count)
+        assert windows[0][0].addr == t[0].addr
+        assert windows[1][0].addr == t[1000].addr
+
+    def test_clipped_to_trace(self):
+        windows = sample_windows(long_trace(300), window=1000, count=5)
+        assert len(windows) == 1
+        assert len(windows[0]) == 300
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sample_windows(long_trace(100), window=0, count=1)
+        with pytest.raises(ValueError):
+            sample_windows(long_trace(100), window=10, count=0)
+
+
+class TestSystematicSample:
+    def test_length(self):
+        s = systematic_sample(long_trace(5000), window=500, count=4)
+        assert len(s) == 2000
+        assert "~sampled" in s.name
+
+    def test_preserves_distribution(self):
+        """Sampling a stationary trace preserves its address distribution."""
+        t = build_trace("fpppp", 20000, seed=0)
+        s = systematic_sample(t, window=2000, count=4)
+        mem_t = (t.iclass == 2) | (t.iclass == 3)
+        mem_s = (s.iclass == 2) | (s.iclass == 3)
+        frac_t = mem_t.mean()
+        frac_s = mem_s.mean()
+        assert abs(frac_t - frac_s) < 0.06
+
+    def test_simulates(self):
+        from repro.common.config import SimulationConfig
+        from repro.core.simulator import run_simulation
+
+        t = build_trace("gcc", 20000, seed=1)
+        s = systematic_sample(t, window=2500, count=4)
+        full = run_simulation(SimulationConfig.paper_default(), t)
+        samp = run_simulation(SimulationConfig.paper_default(), s)
+        assert samp.instructions == len(s)
+        # sampled miss rate lands in the neighbourhood of the full trace's
+        assert abs(samp.l1_miss_rate - full.l1_miss_rate) < 0.08
+
+
+class TestErrorEstimate:
+    def test_identical_windows_zero_error(self):
+        assert sampling_error_estimate([2.0, 2.0, 2.0]) == 0.0
+
+    def test_spread_positive(self):
+        assert sampling_error_estimate([1.0, 2.0, 3.0]) > 0
+
+    def test_degenerate(self):
+        assert sampling_error_estimate([5.0]) == 0.0
+        assert sampling_error_estimate([0.0, 0.0]) == 0.0

@@ -1,0 +1,83 @@
+"""Unit tests for saturating counter arrays."""
+
+import pytest
+
+from repro.common.saturating import SaturatingCounterArray
+
+
+class TestConstruction:
+    def test_initial_fill(self):
+        a = SaturatingCounterArray(8, bits=2, initial=2)
+        assert all(a.value(i) == 2 for i in range(8))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(entries=0),
+            dict(entries=4, bits=0),
+            dict(entries=4, bits=9),
+            dict(entries=4, bits=2, initial=4),
+            dict(entries=4, bits=2, initial=2, threshold=0),
+            dict(entries=4, bits=2, initial=2, threshold=4),
+        ],
+    )
+    def test_invalid_args(self, kwargs):
+        with pytest.raises(ValueError):
+            SaturatingCounterArray(**kwargs)
+
+
+class TestUpdates:
+    def test_saturates_high(self):
+        a = SaturatingCounterArray(1, bits=2, initial=3)
+        a.strengthen(0)
+        assert a.value(0) == 3
+
+    def test_saturates_low(self):
+        a = SaturatingCounterArray(1, bits=2, initial=0)
+        a.weaken(0)
+        assert a.value(0) == 0
+
+    def test_branch_predictor_walk(self):
+        """Classic 2-bit hysteresis: one bad outcome does not flip a strong state."""
+        a = SaturatingCounterArray(1, bits=2, initial=3, threshold=2)
+        a.update(0, False)
+        assert a.predict(0)  # 3 -> 2: still predicting good
+        a.update(0, False)
+        assert not a.predict(0)  # 2 -> 1: flipped
+        a.update(0, True)
+        assert a.predict(0)  # 1 -> 2: back
+
+    def test_update_dispatch(self):
+        a = SaturatingCounterArray(2, initial=1)
+        a.update(0, True)
+        a.update(1, False)
+        assert a.value(0) == 2 and a.value(1) == 0
+
+    def test_independent_entries(self):
+        a = SaturatingCounterArray(4, initial=2)
+        a.strengthen(1)
+        assert a.value(0) == 2 and a.value(1) == 3
+
+
+class TestAnalysis:
+    def test_fraction_predicting_true(self):
+        a = SaturatingCounterArray(4, initial=2, threshold=2)
+        a.weaken(0)
+        a.weaken(0)
+        assert a.fraction_predicting_true() == 0.75
+
+    def test_histogram(self):
+        a = SaturatingCounterArray(4, bits=2, initial=1)
+        a.strengthen(0)
+        h = a.histogram()
+        assert list(h) == [0, 3, 1, 0]
+
+    def test_fill_validates(self):
+        a = SaturatingCounterArray(4, bits=2)
+        with pytest.raises(ValueError):
+            a.fill(9)
+        a.fill(0)
+        assert not a.predict(0)
+
+    def test_len(self):
+        assert len(SaturatingCounterArray(17)) == 17

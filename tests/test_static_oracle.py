@@ -1,0 +1,115 @@
+"""Unit tests for the two-pass filters: static (profiling) and oracle."""
+
+import pytest
+
+from repro.filters.oracle import OracleFilter, OracleProfile, OracleProfileBuilder
+from repro.filters.static_filter import ProfilingObserver, StaticFilter, StaticProfile
+from repro.mem.cache import FillSource
+from repro.prefetch.base import PrefetchRequest
+
+
+def req(line=1, pc=0x400):
+    return PrefetchRequest(line, pc, FillSource.NSP)
+
+
+class TestStaticProfile:
+    def test_record_and_fraction(self):
+        p = StaticProfile()
+        p.record(0x400, True)
+        p.record(0x400, False)
+        p.record(0x400, False)
+        assert p.bad_fraction(0x400) == pytest.approx(2 / 3)
+
+    def test_unseen_pc(self):
+        assert StaticProfile().bad_fraction(0x999) is None
+
+    def test_polluting_pcs(self):
+        p = StaticProfile()
+        for _ in range(3):
+            p.record(0xA, False)
+        for _ in range(3):
+            p.record(0xB, True)
+        assert p.polluting_pcs(0.5) == frozenset({0xA})
+
+    def test_from_counts(self):
+        p = StaticProfile.from_counts({0x1: 5}, {0x1: 5})
+        assert p.bad_fraction(0x1) == 0.5
+
+
+class TestStaticFilter:
+    def _profile(self):
+        p = StaticProfile()
+        for _ in range(4):
+            p.record(0xBAD, False)
+        for _ in range(4):
+            p.record(0x600D, True)
+        return p
+
+    def test_blocks_profiled_polluters(self):
+        f = StaticFilter(self._profile(), 0.5)
+        assert not f.should_prefetch(req(pc=0xBAD))
+        assert f.should_prefetch(req(pc=0x600D))
+        assert f.blocked_pc_count == 1
+
+    def test_unprofiled_pc_allowed(self):
+        f = StaticFilter(self._profile(), 0.5)
+        assert f.should_prefetch(req(pc=0x7777))
+
+    def test_no_runtime_adaptation(self):
+        """The paper's criticism: the static filter cannot learn at runtime."""
+        f = StaticFilter(self._profile(), 0.5)
+        for _ in range(10):
+            f.on_feedback(1, 0x600D, False)  # the "good" PC turns bad...
+        assert f.should_prefetch(req(pc=0x600D))  # ...but stays allowed
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            StaticFilter(StaticProfile(), 1.5)
+
+    def test_profiling_observer_builds_profile(self):
+        obs = ProfilingObserver()
+        assert obs.should_prefetch(req())
+        obs.on_feedback(1, 0x400, False)
+        assert obs.profile.bad_fraction(0x400) == 1.0
+
+
+class TestOracle:
+    def test_majority_semantics(self):
+        p = OracleProfile()
+        p.record(1, 0x400, False)
+        p.record(1, 0x400, False)
+        p.record(1, 0x400, True)
+        assert p.majority_good(1, 0x400) is False
+        p2 = OracleProfile()
+        p2.record(2, 0x400, True)
+        p2.record(2, 0x400, False)
+        assert p2.majority_good(2, 0x400) is True  # tie -> not known-bad
+
+    def test_unseen_key(self):
+        assert OracleProfile().majority_good(9, 9) is None
+
+    def test_filter_drops_known_bad(self):
+        p = OracleProfile()
+        p.record(1, 0x400, False)
+        p.record(2, 0x400, True)
+        f = OracleFilter(p)
+        assert not f.should_prefetch(req(line=1))
+        assert f.should_prefetch(req(line=2))
+        assert f.should_prefetch(req(line=3))  # unprofiled -> allow
+        assert f.stats.get("unprofiled") == 1
+
+    def test_builder_records_feedback(self):
+        b = OracleProfileBuilder()
+        assert b.should_prefetch(req())
+        b.on_feedback(1, 0x400, False)
+        assert b.profile.total_recorded == 1
+        assert b.profile.total_bad == 1
+
+    def test_verdict_cache_consistent(self):
+        p = OracleProfile()
+        p.record(1, 0x400, False)
+        f = OracleFilter(p)
+        assert not f.should_prefetch(req(line=1))
+        assert not f.should_prefetch(req(line=1))  # cached path
+        f.reset()
+        assert not f.should_prefetch(req(line=1))

@@ -1,0 +1,118 @@
+"""Unit tests for the synthetic address-pattern primitives."""
+
+import numpy as np
+import pytest
+
+from repro.trace.synth import (
+    gaussian_pointer_chase,
+    linked_list_addresses,
+    lz_window_addresses,
+    stencil_addresses,
+    strided_addresses,
+    zipf_addresses,
+)
+
+
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestStrided:
+    def test_basic_stride(self):
+        a = strided_addresses(1000, 4, 32)
+        assert list(a) == [1000, 1032, 1064, 1096]
+
+    def test_wrap(self):
+        a = strided_addresses(0, 10, 32, wrap=64)
+        assert set(a) == {0, 32}
+
+    def test_alignment(self):
+        a = strided_addresses(1001, 4, 7)
+        assert all(x % 8 == 0 for x in a)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            strided_addresses(0, -1, 8)
+        with pytest.raises(ValueError):
+            strided_addresses(0, 4, 8, wrap=0)
+
+
+class TestLinkedList:
+    def test_within_region(self):
+        a = linked_list_addresses(rng(), 4096, 100, 32, 50)
+        assert a.min() >= 4096
+        assert a.max() < 4096 + 100 * 32
+
+    def test_wraps_over_nodes(self):
+        a = linked_list_addresses(rng(), 0, 10, 8, 25)
+        # 25 visits over a 10-node cycle revisit the same nodes
+        assert len(set(a)) <= 10
+
+    def test_no_spatial_order(self):
+        a = linked_list_addresses(rng(), 0, 1000, 8, 999).astype(np.int64)
+        diffs = np.diff(a)
+        # A permuted traversal almost never steps by the node size.
+        assert (np.abs(diffs) == 8).mean() < 0.05
+
+    def test_needs_nodes(self):
+        with pytest.raises(ValueError):
+            linked_list_addresses(rng(), 0, 0, 8, 5)
+
+
+class TestGaussianChase:
+    def test_hot_concentration(self):
+        a = gaussian_pointer_chase(rng(), 0, 100_000, 5000, hot_fraction=0.1, hot_probability=0.8)
+        hot = (a < 10_000).mean()
+        assert 0.7 < hot < 0.95
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gaussian_pointer_chase(rng(), 0, 1000, 10, hot_fraction=0.0)
+        with pytest.raises(ValueError):
+            gaussian_pointer_chase(rng(), 0, 1000, 10, hot_probability=1.5)
+
+
+class TestZipf:
+    def test_skew(self):
+        a = zipf_addresses(rng(), 0, 1000, 8, 5000, s=1.5)
+        _, counts = np.unique(a, return_counts=True)
+        # The most popular object dominates a uniform share by far.
+        assert counts.max() > 5 * (5000 / 1000)
+
+    def test_within_region(self):
+        a = zipf_addresses(rng(), 4096, 100, 32, 500)
+        assert a.min() >= 4096 and a.max() < 4096 + 100 * 32
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_addresses(rng(), 0, 0, 8, 10)
+        with pytest.raises(ValueError):
+            zipf_addresses(rng(), 0, 10, 8, 10, s=1.0)
+
+
+class TestLZWindow:
+    def test_within_window(self):
+        a = lz_window_addresses(rng(), 0, 4096, 500)
+        assert a.max() < 4096 + 4096  # cursor bounded by window growth
+
+    def test_mix_of_forward_and_back(self):
+        a = lz_window_addresses(rng(), 0, 65536, 2000, match_probability=0.5).astype(np.int64)
+        diffs = np.diff(a)
+        assert (diffs < 0).any() and (diffs > 0).any()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lz_window_addresses(rng(), 0, 0, 10)
+
+
+class TestStencil:
+    def test_three_point_pattern(self):
+        row_bytes = 64 * 8
+        a = stencil_addresses(0, 16, 64, 8, 9).astype(np.int64)
+        # Triples: center-row_bytes, center, center+row_bytes
+        assert a[1] - a[0] == row_bytes
+        assert a[2] - a[1] == row_bytes
+
+    def test_grid_too_small(self):
+        with pytest.raises(ValueError):
+            stencil_addresses(0, 2, 4, 8, 10, radius=1)

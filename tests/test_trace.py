@@ -1,0 +1,143 @@
+"""Unit tests for trace records, the columnar Trace container, and TraceBuilder."""
+
+import numpy as np
+import pytest
+
+from repro.trace.record import (
+    BRANCH,
+    INT_OP,
+    LOAD,
+    MEMORY_CLASSES,
+    SW_PREFETCH,
+    STORE,
+    InstrClass,
+    TraceRecord,
+)
+from repro.trace.stream import Trace, TraceBuilder
+
+
+class TestTraceRecord:
+    def test_memory_requires_address(self):
+        with pytest.raises(ValueError):
+            TraceRecord(LOAD, pc=4, addr=0)
+        TraceRecord(LOAD, pc=4, addr=64)  # ok
+
+    def test_non_memory_allows_zero_address(self):
+        r = TraceRecord(INT_OP, pc=4)
+        assert not r.is_memory
+
+    def test_demand_classification(self):
+        assert TraceRecord(LOAD, 4, 64).is_demand
+        assert TraceRecord(STORE, 4, 64).is_demand
+        assert not TraceRecord(SW_PREFETCH, 4, 64).is_demand
+        assert TraceRecord(SW_PREFETCH, 4, 64).is_memory
+
+    def test_memory_classes_frozen(self):
+        assert MEMORY_CLASSES == {LOAD, STORE, SW_PREFETCH}
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecord(INT_OP, pc=-1)
+
+
+class TestTraceBuilder:
+    def test_site_pcs_stable_and_distinct(self):
+        b = TraceBuilder()
+        pc1 = b.site("loop.ld")
+        pc2 = b.site("loop.st")
+        assert pc1 != pc2
+        assert b.site("loop.ld") == pc1
+
+    def test_emission_helpers(self):
+        b = TraceBuilder("t")
+        b.load("a", 64)
+        b.store("b", 128)
+        b.branch("c", True)
+        b.sw_prefetch("d", 256)
+        b.ops("e", 3)
+        t = b.build()
+        assert len(t) == 7
+        counts = t.class_counts()
+        assert counts[InstrClass.LOAD] == 1
+        assert counts[InstrClass.STORE] == 1
+        assert counts[InstrClass.BRANCH] == 1
+        assert counts[InstrClass.SW_PREFETCH] == 1
+        assert counts[InstrClass.INT_OP] == 3
+
+    def test_ops_distinct_sites(self):
+        b = TraceBuilder()
+        b.ops("x", 4)
+        t = b.build()
+        assert len(np.unique(t.pc)) == 4
+
+    def test_fp_ops(self):
+        b = TraceBuilder()
+        b.ops("x", 2, fp=True)
+        assert b.build().class_counts()[InstrClass.FP_OP] == 2
+
+
+class TestTrace:
+    def _sample(self):
+        b = TraceBuilder("sample")
+        for i in range(10):
+            b.load("ld", 64 + 32 * i)
+            b.branch("br", i % 3 != 0)
+        return b.build()
+
+    def test_len_and_getitem(self):
+        t = self._sample()
+        assert len(t) == 20
+        r = t[0]
+        assert r.iclass is InstrClass.LOAD
+        assert r.addr == 64
+
+    def test_iteration_matches_indexing(self):
+        t = self._sample()
+        assert [r.pc for r in t] == [t[i].pc for i in range(len(t))]
+
+    def test_head_is_prefix(self):
+        t = self._sample()
+        h = t.head(5)
+        assert len(h) == 5
+        assert h[4].pc == t[4].pc
+
+    def test_mismatched_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(
+                np.zeros(3, np.uint8),
+                np.zeros(2, np.uint64),
+                np.zeros(3, np.uint64),
+                np.zeros(3, bool),
+            )
+
+    def test_summary(self):
+        t = self._sample()
+        s = t.summary()
+        assert s.instructions == 20
+        assert s.loads == 10
+        assert s.branches == 10
+        assert s.memory_references == 10
+        assert s.unique_lines_32b == 10
+
+    def test_structured_roundtrip(self):
+        t = self._sample()
+        t2 = Trace.from_structured(t.to_structured(), "copy")
+        assert np.array_equal(t.pc, t2.pc)
+        assert np.array_equal(t.addr, t2.addr)
+
+    def test_bytes_roundtrip(self):
+        t = self._sample()
+        t2 = Trace.from_bytes(t.to_bytes(), t.name)
+        assert len(t2) == len(t)
+        assert np.array_equal(t.iclass, t2.iclass)
+        assert np.array_equal(t.taken, t2.taken)
+
+    def test_concat(self):
+        t = self._sample()
+        c = Trace.concat([t, t])
+        assert len(c) == 2 * len(t)
+        assert c[len(t)].pc == t[0].pc
+
+    def test_concat_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Trace.concat([])

@@ -1,0 +1,112 @@
+"""Per-benchmark signature tests: each generator must reproduce the
+locality class DESIGN.md assigns it (measured from traces, no simulation).
+"""
+
+import pytest
+
+from repro.trace.analysis import characterise, footprint, stride_profile
+from repro.workloads import build_trace, get_workload
+
+N = 30_000
+
+# One trace per benchmark for the whole module (they are deterministic).
+_cache = {}
+
+
+def stats(name):
+    if name not in _cache:
+        trace = build_trace(name, N, seed=0)
+        _cache[name] = (trace, characterise(trace))
+    return _cache[name]
+
+
+class TestStreamingBenchmarks:
+    """ijpeg / fpppp / wave5: stride-friendly, predictable control flow."""
+
+    @pytest.mark.parametrize("name", ["fpppp", "wave5"])
+    def test_strided_loads_dominant(self, name):
+        _, c = stats(name)
+        assert c["strided_load_fraction"] > 0.15, c
+
+    @pytest.mark.parametrize("name", ["ijpeg", "fpppp", "wave5"])
+    def test_branches_predictable(self, name):
+        _, c = stats(name)
+        assert c["predictable_branch_fraction"] > 0.6
+
+    @pytest.mark.parametrize("name", ["ijpeg", "fpppp", "wave5"])
+    def test_compiler_finds_prefetch_targets(self, name):
+        _, c = stats(name)
+        assert c["software_prefetches"] > 50
+
+
+class TestPointerBenchmarks:
+    """perimeter / gcc / mcf: stride-hostile, branchy."""
+
+    @pytest.mark.parametrize("name", ["perimeter", "gcc", "mcf"])
+    def test_not_stride_predictable(self, name):
+        _, c = stats(name)
+        assert c["strided_load_fraction"] < 0.10
+
+    @pytest.mark.parametrize("name", ["gcc", "mcf"])
+    def test_compiler_finds_little(self, name):
+        _, c = stats(name)
+        assert c["software_prefetches"] < 100
+
+    def test_gcc_branches_hard(self):
+        _, c = stats("gcc")
+        assert c["predictable_branch_fraction"] < 0.5
+
+
+class TestLocalityContrasts:
+    def test_em3d_worst_l1_locality_of_small_ws_group(self):
+        """em3d's random gathers give it the weakest L1-sized locality among
+        the L2-resident benchmarks (its Table 2 signature)."""
+        em3d = stats("em3d")[1]["l1_sized_hit_rate"]
+        for other in ("bh", "gap"):
+            assert em3d < stats(other)[1]["l1_sized_hit_rate"] + 0.05
+
+    def test_fpppp_heavy_fp(self):
+        trace, _ = stats("fpppp")
+        from repro.trace.record import InstrClass
+
+        counts = trace.class_counts()
+        assert counts[InstrClass.FP_OP] > counts[InstrClass.INT_OP]
+
+    def test_gzip_streams_fresh_lines(self):
+        """gzip's input stream keeps touching new lines (compulsory L2
+        misses — its 31.8% Table 2 signature)."""
+        trace, _ = stats("gzip")
+        from repro.trace.analysis import working_set_curve
+
+        curve = working_set_curve(trace, window=4000)
+        assert len(curve) >= 2
+        # windows keep discovering a healthy number of unique lines
+        assert min(curve[1:]) > 100
+
+    def test_memory_fractions_realistic(self):
+        for name in ("bh", "em3d", "gcc", "mcf"):
+            _, c = stats(name)
+            assert 0.15 < c["memory_fraction"] < 0.6
+
+
+class TestInitRegions:
+    @pytest.mark.parametrize(
+        "name", ["bh", "em3d", "perimeter", "ijpeg", "fpppp", "gcc", "wave5", "gap", "gzip", "mcf"]
+    )
+    def test_declared_regions_are_sane(self, name):
+        regions = get_workload(name).init_regions()
+        assert regions, f"{name} declares no init regions"
+        for label, base, nbytes in regions:
+            assert isinstance(label, str) and label
+            assert base > 0 and nbytes > 0
+            assert nbytes < 8 * 1024 * 1024  # bounded
+
+    def test_big_region_benchmarks_exceed_l2(self):
+        for name in ("perimeter", "gap", "mcf"):
+            total = sum(b for _, _, b in get_workload(name).init_regions())
+            assert total > 512 * 1024, name
+
+    def test_l2_resident_benchmarks_fit(self):
+        for name in ("bh", "em3d", "fpppp", "wave5"):
+            total = sum(b for _, _, b in get_workload(name).init_regions())
+            assert total < 512 * 1024, name
