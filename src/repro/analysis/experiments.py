@@ -21,8 +21,9 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.figures import grouped_bars, series_lines, sparkline
 from repro.analysis.metrics import arithmetic_mean, percent_change, reduction_percent
+from repro.analysis.parallel import SimulationJob, default_workers, run_jobs
 from repro.analysis.report import Table
-from repro.analysis.sweep import run_workload
+from repro.analysis.result_cache import ResultCache
 from repro.common.config import FilterKind, SimulationConfig
 from repro.core.simulator import SimulationResult
 from repro.workloads import get_workload, workload_names
@@ -58,12 +59,24 @@ class ExperimentResult:
 class ExperimentSuite:
     """Runs the paper's experiments at a configurable scale."""
 
-    def __init__(self, n_insts: int = 150_000, warmup: Optional[int] = None, seed: int = 0) -> None:
+    def __init__(
+        self,
+        n_insts: int = 150_000,
+        warmup: Optional[int] = None,
+        seed: int = 0,
+        workers: int = 1,
+        cache: Optional[ResultCache] = None,
+    ) -> None:
         self.n_insts = n_insts
         self.warmup = warmup if warmup is not None else int(n_insts * 0.4)
         self.seed = seed
+        self.workers = workers
+        self.cache = cache
         self.benches = workload_names()
-        self._runs: Dict[tuple, SimulationResult] = {}
+        #: in-memory memo, keyed by the run's stable content hash (the same
+        #: key the disk cache uses), so experiments sharing simulations run
+        #: them once per suite regardless of config object identity.
+        self._runs: Dict[str, SimulationResult] = {}
 
     # ------------------------------------------------------------------
     # Simulation plumbing (memoised)
@@ -76,21 +89,38 @@ class ExperimentSuite:
             raise ValueError(f"unsupported L1 size {l1_kb}KB") from None
         return cfg.with_warmup(self.warmup)
 
+    def _job(self, workload: str, config: SimulationConfig, software_prefetch: bool = True) -> SimulationJob:
+        return SimulationJob(workload, config, self.n_insts, self.seed, software_prefetch)
+
+    def _ensure(self, specs: Sequence[SimulationJob]) -> None:
+        """Run (in one parallel batch) every spec not already memoised."""
+        fresh: List[SimulationJob] = []
+        seen = set()
+        for job in specs:
+            key = job.key()
+            if key not in self._runs and key not in seen:
+                seen.add(key)
+                fresh.append(job)
+        if not fresh:
+            return
+        for job, result in zip(fresh, run_jobs(fresh, workers=self.workers, cache=self.cache)):
+            self._runs[job.key()] = result
+
     def run(self, workload: str, config: SimulationConfig, software_prefetch: bool = True) -> SimulationResult:
-        key = (workload, config, software_prefetch)
+        job = self._job(workload, config, software_prefetch)
+        key = job.key()
         if key not in self._runs:
-            self._runs[key] = run_workload(
-                workload, config, self.n_insts, self.seed, software_prefetch=software_prefetch
-            )
+            self._ensure([job])
         return self._runs[key]
 
     def comparison(self, l1_kb: int = 8) -> Dict[str, Dict[FilterKind, SimulationResult]]:
         cfg = self.base_config(l1_kb)
+        kinds = (FilterKind.NONE, FilterKind.PA, FilterKind.PC)
+        self._ensure(
+            [self._job(name, cfg.with_filter(kind=kind)) for name in self.benches for kind in kinds]
+        )
         return {
-            name: {
-                kind: self.run(name, cfg.with_filter(kind=kind))
-                for kind in (FilterKind.NONE, FilterKind.PA, FilterKind.PC)
-            }
+            name: {kind: self.run(name, cfg.with_filter(kind=kind)) for kind in kinds}
             for name in self.benches
         }
 
@@ -121,6 +151,7 @@ class ExperimentSuite:
             ["benchmark", "L1 miss", "L1 paper", "L2 miss", "L2 paper"],
             mean_row=False,
         )
+        self._ensure([self._job(name, cfg, software_prefetch=False) for name in self.benches])
         l1_err = []
         for name in self.benches:
             r = self.run(name, cfg, software_prefetch=False)
@@ -280,6 +311,13 @@ class ExperimentSuite:
 
     def _history_sweep(self) -> Dict[str, Dict[int, SimulationResult]]:
         cfg = self.base_config().with_filter(kind=FilterKind.PA)
+        self._ensure(
+            [
+                self._job(name, cfg.with_filter(table_entries=s))
+                for name in self.benches
+                for s in HISTORY_SIZES
+            ]
+        )
         return {
             name: {s: self.run(name, cfg.with_filter(table_entries=s)) for s in HISTORY_SIZES}
             for name in self.benches
@@ -349,6 +387,13 @@ class ExperimentSuite:
         )
 
     def _port_sweep(self) -> Dict[str, Dict[int, SimulationResult]]:
+        self._ensure(
+            [
+                self._job(name, SimulationConfig.paper_ports(p, FilterKind.PA).with_warmup(self.warmup))
+                for name in self.benches
+                for p in PORT_COUNTS
+            ]
+        )
         return {
             name: {
                 p: self.run(name, SimulationConfig.paper_ports(p, FilterKind.PA).with_warmup(self.warmup))
@@ -394,6 +439,14 @@ class ExperimentSuite:
 
     def _buffer_runs(self) -> Dict[str, Dict[Tuple[FilterKind, bool], SimulationResult]]:
         cfg = self.base_config()
+        self._ensure(
+            [
+                self._job(name, base if not buffered else base.with_buffer())
+                for name in self.benches
+                for base in (cfg.with_filter(kind=FilterKind.PA), cfg.with_filter(kind=FilterKind.PC))
+                for buffered in (False, True)
+            ]
+        )
         out = {}
         for name in self.benches:
             row = {}
@@ -452,6 +505,7 @@ class ExperimentSuite:
     def section3_oracle(self) -> ExperimentResult:
         cmp8 = self.comparison(8)
         cfg = self.base_config().with_filter(kind=FilterKind.ORACLE)
+        self._ensure([self._job(name, cfg) for name in self.benches])
         table = Table(
             "Section 3 — oracle elimination of bad prefetches",
             ["benchmark", "IPC none", "IPC oracle", "bad red %", "good kept %"],
@@ -479,7 +533,17 @@ class ExperimentSuite:
             mean_row=False,
         )
         summary = {}
-        for label, overrides in (("NSP", dict(sdp=False, software=False)), ("SDP", dict(nsp=False, software=False))):
+        scenarios = (("NSP", dict(sdp=False, software=False)), ("SDP", dict(nsp=False, software=False)))
+        self._ensure(
+            [
+                self._job(name, cfg)
+                for _, overrides in scenarios
+                for base in (self.base_config().with_prefetch(**overrides),)
+                for cfg in (base, base.with_filter(kind=FilterKind.PA))
+                for name in self.benches
+            ]
+        )
+        for label, overrides in scenarios:
             cfg = self.base_config().with_prefetch(**overrides)
             accs, bad_reds, good_reds = [], [], []
             for name in self.benches:
@@ -504,6 +568,7 @@ class ExperimentSuite:
     def section521_cache_vs_table(self) -> ExperimentResult:
         cmp8 = self.comparison(8)
         cfg16 = self.base_config(16)
+        self._ensure([self._job(name, cfg16) for name in self.benches])
         table = Table(
             "Section 5.2.1 — 1KB history table vs 16KB L1",
             ["benchmark", "8KB none", "8KB+PA", "16KB none"],
@@ -683,9 +748,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--ids", nargs="*", help="experiment ids (default: all)")
     parser.add_argument("--out", help="write a markdown report to this file")
+    parser.add_argument(
+        "--workers", type=int, default=1, help="parallel simulation processes (0 = one per CPU)"
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="do not read or write the on-disk result cache"
+    )
     args = parser.parse_args(argv)
 
-    suite = ExperimentSuite(args.insts, args.warmup, args.seed)
+    workers = args.workers if args.workers > 0 else default_workers()
+    cache = None if args.no_cache else ResultCache()
+    suite = ExperimentSuite(args.insts, args.warmup, args.seed, workers=workers, cache=cache)
     results = suite.run_all(args.ids)
     if args.out:
         with open(args.out, "w") as fh:

@@ -1,0 +1,158 @@
+"""Parallel execution of independent simulation runs.
+
+Every experiment in this repository decomposes into independent
+``(workload, config, filter)`` simulations, so the natural speedup lever is
+process-level fan-out: :func:`run_jobs` executes a batch of
+:class:`SimulationJob` descriptions across a ``ProcessPoolExecutor`` and
+returns results in submission order regardless of completion order.
+
+Design points:
+
+* **Determinism** — results are keyed back to their submission index, so
+  ``run_jobs(jobs)[i]`` always corresponds to ``jobs[i]`` no matter which
+  worker finished first; and every job is itself a pure function of its
+  fields (trace synthesis is seeded).
+* **Serial fallback** — ``workers<=1``, a single pending job, or a broken
+  process pool (e.g. a sandbox that forbids ``fork``) all degrade to plain
+  in-process execution with identical results.
+* **Cache integration** — with a :class:`~repro.analysis.result_cache
+  .ResultCache` attached, cached keys are served without touching a worker
+  and fresh results are written back, so a warm cache turns a whole suite
+  into pure disk reads.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.result_cache import ResultCache, run_key
+from repro.common.config import SimulationConfig
+from repro.core.simulator import SimulationResult
+
+_WORKERS_ENV = "REPRO_WORKERS"
+
+
+@dataclass(frozen=True)
+class SimulationJob:
+    """One independent simulation, fully described by plain data.
+
+    The job (not a live simulator) is what crosses the process boundary:
+    workers rebuild the machine from the config, which keeps the pickled
+    payload tiny and sidesteps every unpicklable hardware-model handle.
+    """
+
+    workload: str
+    config: SimulationConfig
+    n_insts: int = 100_000
+    seed: int = 0
+    software_prefetch: bool = True
+    engine: str = "pipeline"
+
+    def key(self) -> str:
+        """The job's content hash — also its result-cache address."""
+        return run_key(
+            self.workload,
+            self.config,
+            self.n_insts,
+            self.seed,
+            self.software_prefetch,
+            self.engine,
+        )
+
+
+def execute_job(job: SimulationJob) -> SimulationResult:
+    """Run one job in the current process (the worker entry point).
+
+    Imported lazily to keep this module import-light for the executor's
+    child processes and free of an import cycle with the sweep drivers.
+    """
+    from repro.analysis.sweep import run_workload
+
+    return run_workload(
+        job.workload,
+        job.config,
+        job.n_insts,
+        job.seed,
+        job.engine,
+        job.software_prefetch,
+    )
+
+
+def default_workers() -> int:
+    """Worker count: ``REPRO_WORKERS`` env override, else the CPU count."""
+    env = os.environ.get(_WORKERS_ENV)
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+def _run_serial(
+    pending: Sequence[tuple[int, SimulationJob]],
+    results: List[Optional[SimulationResult]],
+    cache: Optional[ResultCache],
+) -> None:
+    for index, job in pending:
+        result = execute_job(job)
+        results[index] = result
+        if cache is not None:
+            cache.put(job.key(), result)
+
+
+def run_jobs(
+    jobs: Sequence[SimulationJob],
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+) -> List[SimulationResult]:
+    """Execute ``jobs``; returns results aligned with the input order.
+
+    ``workers=None`` picks :func:`default_workers`; ``workers<=1`` runs
+    serially in-process.  With ``cache`` set, cached jobs are never
+    executed and fresh results are persisted.
+    """
+    if workers is None:
+        workers = default_workers()
+
+    results: List[Optional[SimulationResult]] = [None] * len(jobs)
+    pending: List[tuple[int, SimulationJob]] = []
+    for index, job in enumerate(jobs):
+        cached = cache.get(job.key()) if cache is not None else None
+        if cached is not None:
+            results[index] = cached
+        else:
+            pending.append((index, job))
+
+    if not pending:
+        return results  # type: ignore[return-value]
+
+    if workers <= 1 or len(pending) == 1:
+        _run_serial(pending, results, cache)
+        return results  # type: ignore[return-value]
+
+    try:
+        with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
+            future_index: Dict = {
+                pool.submit(execute_job, job): index for index, job in pending
+            }
+            not_done = set(future_index)
+            while not_done:
+                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = future_index[future]
+                    result = future.result()
+                    results[index] = result
+                    if cache is not None:
+                        cache.put(jobs[index].key(), result)
+    except (OSError, RuntimeError):
+        # A pool that cannot start or that died mid-flight (missing fork
+        # support, resource limits, killed worker): finish the remaining
+        # jobs serially — same results, just slower.
+        remaining = [(i, job) for i, job in pending if results[i] is None]
+        _run_serial(remaining, results, cache)
+
+    return results  # type: ignore[return-value]

@@ -1,0 +1,218 @@
+"""Persistent, content-addressed result cache.
+
+Simulation runs are pure functions of ``(workload, config, n_insts, seed,
+software_prefetch, engine)`` plus the model itself, so their results can be
+stored on disk and reused across processes and sessions.  Each result lives
+in one JSON file named by the SHA-256 of a canonical encoding of all run
+inputs plus :data:`MODEL_VERSION` — bumping the version tag invalidates
+every cached result at once, which is the escape hatch whenever a change to
+the simulator alters its outputs.
+
+Cache location, in priority order: an explicit ``directory`` argument, the
+``REPRO_CACHE_DIR`` environment variable, then ``~/.cache/repro/``.
+
+Only the serialisable subset of :class:`~repro.core.simulator
+.SimulationResult` is stored (every scalar, both tally structures, and the
+flattened stats tree); :func:`result_from_dict` rebuilds an equivalent
+result object, so cached and fresh results are interchangeable for all
+reporting code.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.common.config import SimulationConfig
+from repro.common.stats import Stats
+from repro.core.classifier import PrefetchTally
+from repro.core.simulator import SimulationResult
+from repro.mem.cache import FillSource
+
+#: Bump whenever a model change alters simulation outputs: every key derived
+#: with the new tag misses against results stored under the old one.
+MODEL_VERSION = "1"
+
+_CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def _canonical(obj: Any) -> Any:
+    """Reduce config values to JSON-stable primitives (enums by value)."""
+    if isinstance(obj, enum.Enum):
+        return obj.value
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    return obj
+
+
+def config_fingerprint(config: SimulationConfig) -> Dict[str, Any]:
+    """The config as a canonical, JSON-serialisable nested dict."""
+    return _canonical(dataclasses.asdict(config))
+
+
+def run_key(
+    workload: str,
+    config: SimulationConfig,
+    n_insts: int = 100_000,
+    seed: int = 0,
+    software_prefetch: bool = True,
+    engine: str = "pipeline",
+    version: str = MODEL_VERSION,
+) -> str:
+    """Stable content hash of one simulation run's complete inputs."""
+    payload = {
+        "version": version,
+        "workload": workload,
+        "config": config_fingerprint(config),
+        "n_insts": n_insts,
+        "seed": seed,
+        "software_prefetch": software_prefetch,
+        "engine": engine,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# SimulationResult <-> plain dict
+# ----------------------------------------------------------------------
+def _tally_to_dict(tally: PrefetchTally) -> Dict[str, int]:
+    return dataclasses.asdict(tally)
+
+
+def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
+    return {
+        "trace_name": result.trace_name,
+        "filter_name": result.filter_name,
+        "instructions": result.instructions,
+        "cycles": result.cycles,
+        "prefetch": _tally_to_dict(result.prefetch),
+        "per_source": {
+            src.name: _tally_to_dict(t) for src, t in result.per_source.items()
+        },
+        "l1_demand_accesses": result.l1_demand_accesses,
+        "l1_demand_misses": result.l1_demand_misses,
+        "l2_demand_accesses": result.l2_demand_accesses,
+        "l2_demand_misses": result.l2_demand_misses,
+        "l1_prefetch_fills": result.l1_prefetch_fills,
+        "prefetch_line_traffic": result.prefetch_line_traffic,
+        "demand_line_traffic": result.demand_line_traffic,
+        "stats": result.stats.flat(),
+    }
+
+
+def _stats_from_flat(flat: Dict[str, float]) -> Stats:
+    stats = Stats()
+    for dotted, value in flat.items():
+        parts = dotted.split(".")
+        group = stats
+        for name in parts[:-1]:
+            group = group[name]
+        group.set(parts[-1], value)
+    return stats
+
+
+def result_from_dict(data: Dict[str, Any]) -> SimulationResult:
+    return SimulationResult(
+        trace_name=data["trace_name"],
+        filter_name=data["filter_name"],
+        instructions=int(data["instructions"]),
+        cycles=int(data["cycles"]),
+        prefetch=PrefetchTally(**data["prefetch"]),
+        per_source={
+            FillSource[name]: PrefetchTally(**t)
+            for name, t in data["per_source"].items()
+        },
+        l1_demand_accesses=int(data["l1_demand_accesses"]),
+        l1_demand_misses=int(data["l1_demand_misses"]),
+        l2_demand_accesses=int(data["l2_demand_accesses"]),
+        l2_demand_misses=int(data["l2_demand_misses"]),
+        l1_prefetch_fills=int(data["l1_prefetch_fills"]),
+        prefetch_line_traffic=int(data["prefetch_line_traffic"]),
+        demand_line_traffic=int(data["demand_line_traffic"]),
+        stats=_stats_from_flat(data["stats"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# The on-disk store
+# ----------------------------------------------------------------------
+def default_cache_dir() -> Path:
+    env = os.environ.get(_CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+class ResultCache:
+    """Content-addressed JSON store of simulation results.
+
+    ``get`` is tolerant by design: a missing, corrupt, or structurally
+    stale file is treated as a miss (and a corrupt file is removed), so a
+    killed process or a format change can never wedge the cache.
+    """
+
+    def __init__(self, directory: Optional[os.PathLike | str] = None) -> None:
+        self.directory = Path(directory) if directory is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> Optional[SimulationResult]:
+        path = self._path(key)
+        try:
+            with open(path) as fh:
+                data = json.load(fh)
+            result = result_from_dict(data)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError, OSError):
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: SimulationResult) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            with open(tmp, "w") as fh:
+                json.dump(result_to_dict(result), fh)
+            os.replace(tmp, path)  # atomic: readers never see partial files
+        except OSError:
+            tmp.unlink(missing_ok=True)
+
+    def clear(self) -> int:
+        """Delete every cached result; returns how many were removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultCache({str(self.directory)!r}, hits={self.hits}, misses={self.misses})"

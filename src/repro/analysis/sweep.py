@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro.analysis.parallel import SimulationJob, run_jobs
+from repro.analysis.result_cache import ResultCache
 from repro.common.config import FilterKind, SimulationConfig
 from repro.core.simulator import SimulationResult, Simulator
 from repro.filters.oracle import OracleFilter, OracleProfileBuilder
@@ -77,13 +79,16 @@ def compare_filters(
     n_insts: int = 100_000,
     seed: int = 0,
     engine: str = "pipeline",
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> Dict[FilterKind, SimulationResult]:
     """The paper's core comparison: the same machine under several filters."""
-    out: Dict[FilterKind, SimulationResult] = {}
-    for kind in kinds:
-        cfg = base_config.with_filter(kind=kind)
-        out[kind] = run_workload(workload, cfg, n_insts, seed, engine)
-    return out
+    jobs = [
+        SimulationJob(workload, base_config.with_filter(kind=kind), n_insts, seed, True, engine)
+        for kind in kinds
+    ]
+    results = run_jobs(jobs, workers=workers, cache=cache)
+    return dict(zip(kinds, results))
 
 
 def sweep_history_sizes(
@@ -93,13 +98,16 @@ def sweep_history_sizes(
     n_insts: int = 100_000,
     seed: int = 0,
     engine: str = "pipeline",
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> Dict[int, SimulationResult]:
     """Section 5.3: history-table size sensitivity (PA filter by default)."""
-    out: Dict[int, SimulationResult] = {}
-    for size in entries:
-        cfg = base_config.with_filter(table_entries=size)
-        out[size] = run_workload(workload, cfg, n_insts, seed, engine)
-    return out
+    jobs = [
+        SimulationJob(workload, base_config.with_filter(table_entries=size), n_insts, seed, True, engine)
+        for size in entries
+    ]
+    results = run_jobs(jobs, workers=workers, cache=cache)
+    return dict(zip(entries, results))
 
 
 def sweep_l1_ports(
@@ -109,13 +117,16 @@ def sweep_l1_ports(
     n_insts: int = 100_000,
     seed: int = 0,
     engine: str = "pipeline",
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> Dict[int, SimulationResult]:
     """Section 5.4: L1 port-count sensitivity (latency rises with ports)."""
-    out: Dict[int, SimulationResult] = {}
-    for p in ports:
-        cfg = SimulationConfig.paper_ports(p, filter_kind)
-        out[p] = run_workload(workload, cfg, n_insts, seed, engine)
-    return out
+    jobs = [
+        SimulationJob(workload, SimulationConfig.paper_ports(p, filter_kind), n_insts, seed, True, engine)
+        for p in ports
+    ]
+    results = run_jobs(jobs, workers=workers, cache=cache)
+    return dict(zip(ports, results))
 
 
 def run_all_workloads(
@@ -124,5 +135,8 @@ def run_all_workloads(
     n_insts: int = 100_000,
     seed: int = 0,
     engine: str = "pipeline",
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> List[SimulationResult]:
-    return [run_workload(w, config, n_insts, seed, engine) for w in workloads]
+    jobs = [SimulationJob(w, config, n_insts, seed, True, engine) for w in workloads]
+    return run_jobs(jobs, workers=workers, cache=cache)

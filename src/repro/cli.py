@@ -9,6 +9,7 @@ Subcommands::
     repro-sim experiment --id f6 --insts 120000
     repro-sim sweep --workload wave5 --what history
     repro-sim export --workload gcc --filter pa --format csv
+    repro-sim bench --workload em3d --runs 5 --workers 0
 
 Exists so the simulator can be driven without writing Python — handy for
 quick sanity checks and for regenerating individual paper rows.
@@ -127,6 +128,80 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from repro.analysis.parallel import SimulationJob, default_workers, run_jobs
+    from repro.analysis.result_cache import ResultCache
+
+    cfg = SimulationConfig.paper_default(FilterKind(args.filter)).with_warmup(args.insts // 3)
+    # Distinct seeds make each run a genuinely different simulation, so the
+    # cache cannot collapse the batch into one job.
+    jobs = [
+        SimulationJob(args.workload, cfg, args.insts, args.seed + i, engine=args.engine)
+        for i in range(args.runs)
+    ]
+    workers = args.workers if args.workers > 0 else default_workers()
+    total_insts = args.insts * args.runs
+
+    t0 = time.perf_counter()
+    serial = run_jobs(jobs, workers=1)
+    t_serial = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = run_jobs(jobs, workers=workers)
+    t_parallel = time.perf_counter() - t0
+
+    identical = all(
+        (a.cycles, a.instructions, a.prefetch) == (b.cycles, b.instructions, b.prefetch)
+        for a, b in zip(serial, parallel)
+    )
+
+    t_cold = t_warm = None
+    cache_stats = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir)
+        t0 = time.perf_counter()
+        run_jobs(jobs, workers=workers, cache=cache)
+        t_cold = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm = run_jobs(jobs, workers=workers, cache=cache)
+        t_warm = time.perf_counter() - t0
+        identical = identical and all(
+            (a.cycles, a.instructions, a.prefetch) == (b.cycles, b.instructions, b.prefetch)
+            for a, b in zip(serial, warm)
+        )
+        cache_stats = {"hits": cache.hits, "misses": cache.misses}
+
+    report = {
+        "workload": args.workload,
+        "filter": args.filter,
+        "engine": args.engine,
+        "runs": args.runs,
+        "insts_per_run": args.insts,
+        "workers": workers,
+        "serial_seconds": round(t_serial, 3),
+        "parallel_seconds": round(t_parallel, 3),
+        "serial_insts_per_sec": round(total_insts / t_serial),
+        "parallel_insts_per_sec": round(total_insts / t_parallel),
+        "parallel_speedup": round(t_serial / t_parallel, 2),
+        "results_identical": identical,
+    }
+    if t_cold is not None:
+        report["cold_cache_seconds"] = round(t_cold, 3)
+        report["warm_cache_seconds"] = round(t_warm, 3)
+        report["warm_cache_speedup"] = round(t_serial / t_warm, 1) if t_warm else None
+        report["cache"] = cache_stats
+
+    if args.json:
+        print(json.dumps(report, indent=1))
+    else:
+        for key, value in report.items():
+            print(f"{key:24} {value}")
+    return 0 if identical else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro-sim", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -171,6 +246,17 @@ def main(argv: Sequence[str] | None = None) -> int:
     p_xp.add_argument("--out", help="write to a file instead of stdout")
     _add_common(p_xp)
     p_xp.set_defaults(func=_cmd_export)
+
+    p_bn = sub.add_parser("bench", help="time serial vs parallel vs cached execution")
+    p_bn.add_argument("--workload", choices=workload_names(), default="em3d")
+    p_bn.add_argument("--filter", choices=[k.value for k in FilterKind], default="pa")
+    p_bn.add_argument("--runs", type=int, default=5, help="distinct simulations to time")
+    p_bn.add_argument("--workers", type=int, default=0, help="parallel processes (0 = one per CPU)")
+    p_bn.add_argument("--no-cache", action="store_true", help="skip the disk-cache timing phases")
+    p_bn.add_argument("--cache-dir", help="result-cache directory (default: REPRO_CACHE_DIR or ~/.cache/repro)")
+    p_bn.add_argument("--json", action="store_true", help="emit the report as JSON")
+    _add_common(p_bn)
+    p_bn.set_defaults(func=_cmd_bench)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -6,23 +6,55 @@ root, and bumps named counters as events happen.  The registry supports
 * cheap increments (plain dict arithmetic, no object churn on the hot path),
 * nested namespaces (``stats["l1"]["demand_miss"]``),
 * snapshot/delta for measuring a window of execution,
-* flat export for CSV-style reporting.
+* flat export for CSV-style reporting,
+* deferred flushing: a hardware model may accumulate its hottest event
+  counts in plain integer attributes and register a flush hook that folds
+  them into the dict lazily — every read path (``get``/``flat``/``total``/
+  iteration) triggers the hook first, so readers never observe stale
+  values while the per-event cost drops to one integer add.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Mapping
+from typing import Callable, Dict, Iterator, Mapping, Optional
 
 
 class StatGroup:
     """One namespace of counters, with optional nested child groups."""
 
-    __slots__ = ("name", "counters", "children")
+    __slots__ = ("name", "counters", "children", "_flush_hook")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.counters: Dict[str, float] = {}
         self.children: Dict[str, "StatGroup"] = {}
+        self._flush_hook: Optional[Callable[[], None]] = None
+
+    # -- deferred flushing ----------------------------------------------
+    def bind_flush(self, hook: Callable[[], None]) -> None:
+        """Register a hook that folds batched local counters into the dict.
+
+        The hook must be idempotent: add its pending deltas to
+        ``counters`` and zero them.  It runs before every read.
+        """
+        self._flush_hook = hook
+
+    def flush(self) -> None:
+        """Fold any batched counters in (no-op without a bound hook)."""
+        if self._flush_hook is not None:
+            self._flush_hook()
+
+    def detach_flush(self) -> None:
+        """Flush and unbind the hook (and all descendants' hooks).
+
+        Called when a run finishes so the stats tree becomes plain data —
+        picklable across process boundaries, free of references back into
+        the hardware models.
+        """
+        self.flush()
+        self._flush_hook = None
+        for child in self.children.values():
+            child.detach_flush()
 
     # -- counter access ------------------------------------------------
     def bump(self, key: str, amount: float = 1) -> None:
@@ -33,6 +65,8 @@ class StatGroup:
         self.counters[key] = value
 
     def get(self, key: str, default: float = 0) -> float:
+        if self._flush_hook is not None:
+            self._flush_hook()
         return self.counters.get(key, default)
 
     def __getitem__(self, key: str) -> "StatGroup":
@@ -46,6 +80,8 @@ class StatGroup:
     # -- aggregation ----------------------------------------------------
     def flat(self, prefix: str = "") -> Dict[str, float]:
         """Flatten to ``{"group.sub.counter": value}``."""
+        if self._flush_hook is not None:
+            self._flush_hook()
         here = f"{prefix}{self.name}." if self.name else prefix
         out = {f"{here}{k}": v for k, v in self.counters.items()}
         for child in self.children.values():
@@ -54,17 +90,22 @@ class StatGroup:
 
     def total(self, key: str) -> float:
         """Sum of ``key`` over this group and all descendants."""
+        if self._flush_hook is not None:
+            self._flush_hook()
         result = self.counters.get(key, 0)
         for child in self.children.values():
             result += child.total(key)
         return result
 
     def reset(self) -> None:
+        self.flush()
         self.counters.clear()
         for child in self.children.values():
             child.reset()
 
     def __iter__(self) -> Iterator[str]:
+        if self._flush_hook is not None:
+            self._flush_hook()
         return iter(self.counters)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -30,6 +30,18 @@ class BimodalPredictor:
         # Initialise weakly-taken: the classic bimodal reset state.
         self.counters = SaturatingCounterArray(entries, bits=2, initial=2, threshold=2)
         self.stats = stats if stats is not None else StatGroup("bimodal")
+        self._n_correct = 0
+        self._n_mispredict = 0
+        self.stats.bind_flush(self._flush_stats)
+
+    def _flush_stats(self) -> None:
+        c = self.stats.counters
+        if self._n_correct:
+            c["correct"] = c.get("correct", 0) + self._n_correct
+            self._n_correct = 0
+        if self._n_mispredict:
+            c["mispredict"] = c.get("mispredict", 0) + self._n_mispredict
+            self._n_mispredict = 0
 
     def _index(self, pc: int) -> int:
         # Branch PCs are word aligned; drop the low bits before indexing.
@@ -46,7 +58,10 @@ class BimodalPredictor:
         i = self._index(pc)
         correct = self.counters.predict(i) == taken
         self.counters.update(i, taken)
-        self.stats.bump("correct" if correct else "mispredict")
+        if correct:
+            self._n_correct += 1
+        else:
+            self._n_mispredict += 1
         return correct
 
 
@@ -63,6 +78,22 @@ class BranchTargetBuffer:
         self.stamp = np.zeros((sets, ways), dtype=np.int64)
         self._clock = 0
         self.stats = stats if stats is not None else StatGroup("btb")
+        self._n_hit = 0
+        self._n_miss = 0
+        self._n_allocated = 0
+        self.stats.bind_flush(self._flush_stats)
+
+    def _flush_stats(self) -> None:
+        c = self.stats.counters
+        if self._n_hit:
+            c["hit"] = c.get("hit", 0) + self._n_hit
+            self._n_hit = 0
+        if self._n_miss:
+            c["miss"] = c.get("miss", 0) + self._n_miss
+            self._n_miss = 0
+        if self._n_allocated:
+            c["allocated"] = c.get("allocated", 0) + self._n_allocated
+            self._n_allocated = 0
 
     def lookup_and_allocate(self, pc: int, taken: bool) -> bool:
         """Probe for a branch; allocate on taken. Returns hit (target known)."""
@@ -72,14 +103,14 @@ class BranchTargetBuffer:
         for w in range(self.ways):
             if row[w] == pc:
                 self.stamp[s, w] = self._clock
-                self.stats.bump("hit")
+                self._n_hit += 1
                 return True
-        self.stats.bump("miss")
+        self._n_miss += 1
         if taken:
             w = int(np.argmin(self.stamp[s]))
             self.tags[s, w] = pc
             self.stamp[s, w] = self._clock
-            self.stats.bump("allocated")
+            self._n_allocated += 1
         return False
 
 
@@ -97,6 +128,18 @@ class BranchUnit:
         self.stats = root
         self.predictor = BimodalPredictor(predictor_entries, root["bimodal"])
         self.btb = BranchTargetBuffer(btb_sets, btb_ways, root["btb"])
+        self._n_flushes = 0
+        self._n_clean = 0
+        root.bind_flush(self._flush_stats)
+
+    def _flush_stats(self) -> None:
+        c = self.stats.counters
+        if self._n_flushes:
+            c["flushes"] = c.get("flushes", 0) + self._n_flushes
+            self._n_flushes = 0
+        if self._n_clean:
+            c["clean"] = c.get("clean", 0) + self._n_clean
+            self._n_clean = 0
 
     def resolve(self, pc: int, taken: bool) -> bool:
         """Process one dynamic branch; True when fetch proceeded unbroken.
@@ -107,5 +150,8 @@ class BranchUnit:
         direction_ok = self.predictor.predict_and_update(pc, taken)
         target_ok = self.btb.lookup_and_allocate(pc, taken)
         ok = direction_ok and (target_ok or not taken)
-        self.stats.bump("flushes" if not ok else "clean")
+        if ok:
+            self._n_clean += 1
+        else:
+            self._n_flushes += 1
         return ok

@@ -31,7 +31,7 @@ from repro.prefetch.base import PrefetchRequest
 _PREFETCH_SOURCES = (FillSource.NSP, FillSource.SDP, FillSource.SOFTWARE, FillSource.STRIDE)
 
 
-@dataclass
+@dataclass(slots=True)
 class PrefetchTally:
     """Counts for one prefetch source."""
 
@@ -97,27 +97,46 @@ class PrefetchClassifier:
         self.per_source: Dict[FillSource, PrefetchTally] = {
             src: PrefetchTally() for src in _PREFETCH_SOURCES
         }
+        #: stats-dict values already flushed, per counter key; the flush
+        #: hook derives pending deltas from the per-source tallies (the
+        #: single source of truth) instead of double-counting per event.
+        self._flushed: Dict[str, int] = {}
+        self.stats.bind_flush(self._flush_stats)
+
+    def _flush_stats(self) -> None:
+        c = self.stats.counters
+        flushed = self._flushed
+        totals = {"generated": 0, "squashed": 0, "filtered": 0,
+                  "dropped": 0, "issued": 0, "good": 0, "bad": 0}
+        for tally in self.per_source.values():
+            totals["generated"] += tally.generated
+            totals["squashed"] += tally.squashed
+            totals["filtered"] += tally.filtered
+            totals["dropped"] += tally.dropped
+            totals["issued"] += tally.issued
+            totals["good"] += tally.good
+            totals["bad"] += tally.bad
+        for key, value in totals.items():
+            delta = value - flushed.get(key, 0)
+            if delta:
+                c[key] = c.get(key, 0) + delta
+                flushed[key] = value
 
     # -- lifecycle events ----------------------------------------------------
     def on_generated(self, request: PrefetchRequest) -> None:
         self.per_source[request.source].generated += 1
-        self.stats.bump("generated")
 
     def on_squashed(self, request: PrefetchRequest) -> None:
         self.per_source[request.source].squashed += 1
-        self.stats.bump("squashed")
 
     def on_filtered(self, request: PrefetchRequest) -> None:
         self.per_source[request.source].filtered += 1
-        self.stats.bump("filtered")
 
     def on_dropped(self, request: PrefetchRequest) -> None:
         self.per_source[request.source].dropped += 1
-        self.stats.bump("dropped")
 
     def on_issued(self, request: PrefetchRequest) -> None:
         self.per_source[request.source].issued += 1
-        self.stats.bump("issued")
 
     # -- resolution ------------------------------------------------------------
     def on_l1_eviction(self, evicted: EvictedLine) -> None:
@@ -127,20 +146,16 @@ class PrefetchClassifier:
         tally = self.per_source[evicted.source]
         if evicted.rib:
             tally.good += 1
-            self.stats.bump("good")
         else:
             tally.bad += 1
-            self.stats.bump("bad")
 
     def on_buffer_eviction(self, line: BufferedLine) -> None:
         """Classify a line pushed out of (or drained from) the prefetch buffer."""
         tally = self.per_source[line.source]
         if line.referenced:
             tally.good += 1
-            self.stats.bump("good")
         else:
             tally.bad += 1
-            self.stats.bump("bad")
 
     # -- aggregates ----------------------------------------------------------
     def total(self) -> PrefetchTally:

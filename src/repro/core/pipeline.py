@@ -156,15 +156,16 @@ class OoOPipeline:
     # Prefetch control path: squash -> filter -> queue
     # ------------------------------------------------------------------
     def _route_prefetch(self, request: PrefetchRequest, now: int) -> None:
-        self.classifier.on_generated(request)
+        classifier = self.classifier
+        classifier.on_generated(request)
         if self.hierarchy.is_duplicate_prefetch(request.line_addr, now):
-            self.classifier.on_squashed(request)
+            classifier.on_squashed(request)
             return
         if not self.filter.should_prefetch(request):
-            self.classifier.on_filtered(request)
+            classifier.on_filtered(request)
             return
         if not self.queue.push(request, now):
-            self.classifier.on_dropped(request)
+            classifier.on_dropped(request)
 
     def _drain_queue(self, now: int) -> None:
         """Issue queued prefetches into ports idle near the program point.
@@ -184,24 +185,28 @@ class OoOPipeline:
         a timestamp pile-up.
         """
         issued = 0
-        mshr = self.hierarchy.mshr
-        while len(self.queue) and issued < _DRAIN_BURST:
-            head, enqueued = self.queue.peek()
+        hierarchy = self.hierarchy
+        queue = self.queue
+        mshr = hierarchy.mshr
+        ports = hierarchy.ports
+        horizon = now + 1
+        while len(queue) and issued < _DRAIN_BURST:
+            head, enqueued = queue.peek()
             ready = enqueued + 1  # one cycle of queue traversal
-            when = max(ready, self.hierarchy.ports.earliest_free())
-            if when > now + 1:
+            when = max(ready, ports.earliest_free())
+            if when > horizon:
                 break
             if mshr.free_slots(when) <= _MSHR_DEMAND_RESERVE:
                 break
-            grant = self.hierarchy.ports.try_acquire_prefetch(when)
+            grant = ports.try_acquire_prefetch(when)
             if grant is None:
                 break
-            request = self.queue.pop(grant)
-            if self.hierarchy.is_duplicate_prefetch(request.line_addr, grant):
+            request = queue.pop(grant)
+            if hierarchy.is_duplicate_prefetch(request.line_addr, grant):
                 # A demand miss beat the prefetch to the line: late duplicate.
                 self.classifier.on_squashed(request)
                 continue
-            self.hierarchy.issue_prefetch(
+            hierarchy.issue_prefetch(
                 request.line_addr,
                 grant,
                 request.source,
@@ -215,15 +220,23 @@ class OoOPipeline:
     # Main loop
     # ------------------------------------------------------------------
     def run(self, trace: Trace) -> int:
-        """Execute the trace; returns total cycles to retire everything."""
-        iclass_col = trace.iclass
-        pc_col = trace.pc
-        addr_col = trace.addr
-        taken_col = trace.taken
+        """Execute the trace; returns total cycles to retire everything.
+
+        Hot-loop structure: the four trace columns are converted to plain
+        Python lists once (scalar indexing into numpy arrays costs a boxed
+        object per read), every per-instruction attribute and bound-method
+        lookup is hoisted into a local, and the latency histogram is kept in
+        four local integers — all measurable wins at hundreds of thousands
+        of iterations.
+        """
         n = len(trace)
         limit = self.config.max_instructions
         if limit is not None:
             n = min(n, limit)
+        iclass_col = trace.iclass[:n].tolist()
+        pc_col = trace.pc[:n].tolist()
+        addr_col = trace.addr[:n].tolist()
+        taken_col = trace.taken[:n].tolist()
 
         issue_width = self.config.processor.issue_width
         retire_width = self.config.processor.retire_width
@@ -242,22 +255,43 @@ class OoOPipeline:
         last_retire = 0
         flush_until = 0
         warmup = min(self.config.warmup_instructions, n)
+        on_warmup = self.on_warmup
 
         l1_latency = self.config.hierarchy.l1.latency
+        edge0, edge1, edge2 = self._latency_edges
+        bucket0 = bucket1 = bucket2 = bucket3 = 0
+
+        # Hoisted hot-path callables/state.
+        rob_constraint = self.rob.constraint
+        rob_push = self.rob.push
+        lsq_constraint = self.lsq.constraint
+        lsq_push = self.lsq.push
+        demand_access = self.hierarchy.demand_access
+        branch_resolve = self.branch_unit.resolve
+        route_prefetch = self._route_prefetch
+        drain_queue = self._drain_queue
+        queue = self.queue
+        nsp = self.nsp
+        sdp = self.sdp
+        stride = self.stride
+        sw_unit = self.sw_unit
+        nsp_observe = nsp.observe if nsp is not None else None
+        sdp_observe = sdp.observe if sdp is not None else None
+        sdp_confirm = sdp.confirm_use if sdp is not None else None
+        stride_wants_address = self._stride_wants_address
 
         for i in range(n):
-            if i == warmup and self.on_warmup is not None:
-                self.on_warmup(last_retire)
-            cls = int(iclass_col[i])
-            pc = int(pc_col[i])
+            if i == warmup and on_warmup is not None:
+                on_warmup(last_retire)
+            cls = iclass_col[i]
             is_mem = cls == LOAD or cls == STORE or cls == SW_PF
 
             # ---- dispatch ------------------------------------------------
-            earliest = self.rob.constraint()
+            earliest = rob_constraint()
             if flush_until > earliest:
                 earliest = flush_until
             if is_mem:
-                lc = self.lsq.constraint()
+                lc = lsq_constraint()
                 if lc > earliest:
                     earliest = lc
             if earliest > disp_cycle:
@@ -271,20 +305,20 @@ class OoOPipeline:
 
             # ---- execute --------------------------------------------------
             if cls == LOAD or cls == STORE:
-                addr = int(addr_col[i])
-                result = self.hierarchy.demand_access(addr, cls == STORE, slot + _AGEN_LATENCY)
+                pc = pc_col[i]
+                addr = addr_col[i]
+                result = demand_access(addr, cls == STORE, slot + _AGEN_LATENCY)
                 if cls == LOAD:
                     complete = result.complete
                     latency = complete - result.grant
-                    edges = self._latency_edges
-                    if latency <= edges[0]:
-                        self._latency_buckets[0] += 1
-                    elif latency <= edges[1]:
-                        self._latency_buckets[1] += 1
-                    elif latency <= edges[2]:
-                        self._latency_buckets[2] += 1
+                    if latency <= edge0:
+                        bucket0 += 1
+                    elif latency <= edge1:
+                        bucket1 += 1
+                    elif latency <= edge2:
+                        bucket2 += 1
                     else:
-                        self._latency_buckets[3] += 1
+                        bucket3 += 1
                 elif result.mshr_stalled:
                     # Store-buffer backpressure: a store miss that found the
                     # MSHR file full blocks like a load, throttling streams
@@ -294,30 +328,30 @@ class OoOPipeline:
                     # Non-blocking store: retirement waits for the port +
                     # L1 write only; the miss (if any) drains in background.
                     complete = result.grant + l1_latency
-                if result.first_use_prefetched and self.sdp is not None:
-                    self.sdp.confirm_use(result.line_addr)
+                if result.first_use_prefetched and sdp_confirm is not None:
+                    sdp_confirm(result.line_addr)
                 # Hardware prefetch triggers observe the resolved access.
-                if self.nsp is not None:
-                    for req in self.nsp.observe(pc, result):
-                        self._route_prefetch(req, slot)
-                if self.sdp is not None:
-                    for req in self.sdp.observe(pc, result):
-                        self._route_prefetch(req, slot)
-                if self.stride is not None and cls == LOAD:
-                    if self._stride_wants_address:
-                        requests = self.stride.observe_address(pc, addr)
+                if nsp_observe is not None:
+                    for req in nsp_observe(pc, result):
+                        route_prefetch(req, slot)
+                if sdp_observe is not None:
+                    for req in sdp_observe(pc, result):
+                        route_prefetch(req, slot)
+                if stride is not None and cls == LOAD:
+                    if stride_wants_address:
+                        requests = stride.observe_address(pc, addr)
                     else:
-                        requests = self.stride.observe(pc, result)
+                        requests = stride.observe(pc, result)
                     for req in requests:
-                        self._route_prefetch(req, slot)
+                        route_prefetch(req, slot)
             elif cls == BRANCH:
                 complete = slot + _INT_LATENCY
-                if not self.branch_unit.resolve(pc, bool(taken_col[i])):
+                if not branch_resolve(pc_col[i], bool(taken_col[i])):
                     flush_until = complete + flush_penalty
             elif cls == SW_PF:
                 complete = slot + _INT_LATENCY
-                if self.sw_unit is not None:
-                    self._route_prefetch(self.sw_unit.request(pc, int(addr_col[i])), slot)
+                if sw_unit is not None:
+                    route_prefetch(sw_unit.request(pc_col[i], addr_col[i]), slot)
             elif cls == FP:
                 complete = slot + _FP_LATENCY
             else:
@@ -333,8 +367,8 @@ class OoOPipeline:
             # during genuinely port-saturated stretches (dense demand traffic
             # with no stalls) last_retire tracks the dispatch slot and the
             # contention behaviour is preserved.
-            if len(self.queue):
-                self._drain_queue(max(slot, last_retire) + _AGEN_LATENCY)
+            if len(queue):
+                drain_queue((slot if slot > last_retire else last_retire) + _AGEN_LATENCY)
 
             # ---- retire ---------------------------------------------------
             rt = complete if complete > last_retire else last_retire
@@ -347,11 +381,12 @@ class OoOPipeline:
                 rt = ret_cycle
             ret_in_cycle += 1
             last_retire = rt
-            self.rob.push(rt)
+            rob_push(rt)
             if is_mem:
-                self.lsq.push(rt)
+                lsq_push(rt)
 
         # ---- end of run ---------------------------------------------------
+        self._latency_buckets = [bucket0, bucket1, bucket2, bucket3]
         for request in self.queue.pending_requests():
             self.classifier.on_dropped(request)
         self.queue.clear()

@@ -14,11 +14,15 @@ stalls, and younger misses can no longer overlap it.
 
 from __future__ import annotations
 
-import numpy as np
-
 
 class RetirementWindow:
-    """Ring buffer of retirement timestamps with a dispatch constraint."""
+    """Ring buffer of retirement timestamps with a dispatch constraint.
+
+    Backed by a plain Python list rather than a numpy array: the engine
+    probes and pushes once per instruction, and scalar indexing into a
+    list is several times cheaper than numpy element access plus the
+    ``int()`` conversion it would force on the caller.
+    """
 
     __slots__ = ("capacity", "_times", "_head", "_count")
 
@@ -26,7 +30,7 @@ class RetirementWindow:
         if capacity < 1:
             raise ValueError("window capacity must be positive")
         self.capacity = capacity
-        self._times = np.zeros(capacity, dtype=np.int64)
+        self._times = [0] * capacity
         self._head = 0
         self._count = 0
 
@@ -38,12 +42,13 @@ class RetirementWindow:
         """
         if self._count < self.capacity:
             return 0
-        return int(self._times[self._head])
+        return self._times[self._head]
 
     def push(self, retire_time: int) -> None:
         """Record a newly dispatched instruction's (already known) retire time."""
         self._times[self._head] = retire_time
-        self._head = (self._head + 1) % self.capacity
+        head = self._head + 1
+        self._head = 0 if head == self.capacity else head
         if self._count < self.capacity:
             self._count += 1
 
@@ -54,7 +59,7 @@ class RetirementWindow:
     def reset(self) -> None:
         self._head = 0
         self._count = 0
-        self._times.fill(0)
+        self._times = [0] * self.capacity
 
 
 class ReorderBuffer(RetirementWindow):

@@ -143,6 +143,11 @@ class Simulator:
             self.engine.on_warmup = on_warmup
 
         total_cycles = self.engine.run(trace)
+        # Fold all batched hot-path counters into the stats dicts and drop
+        # the bound-method flush hooks: the result below carries ``stats``
+        # across process boundaries (parallel runs, disk cache) and must be
+        # plain data, not a handle on the whole hardware-model graph.
+        self.stats.detach_flush()
         self.classifier.check_conservation()
 
         n = len(trace)

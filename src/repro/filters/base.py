@@ -21,6 +21,24 @@ class PollutionFilter(abc.ABC):
 
     def __init__(self, stats: StatGroup | None = None) -> None:
         self.stats = stats if stats is not None else StatGroup(self.name)
+        self._n_allowed = 0
+        self._n_rejected = 0
+        self._n_fb_good = 0
+        self._n_fb_bad = 0
+        self.stats.bind_flush(self._flush_stats)
+
+    def _flush_stats(self) -> None:
+        c = self.stats.counters
+        for key, attr in (
+            ("allowed", "_n_allowed"),
+            ("rejected", "_n_rejected"),
+            ("feedback_good", "_n_fb_good"),
+            ("feedback_bad", "_n_fb_bad"),
+        ):
+            pending = getattr(self, attr)
+            if pending:
+                c[key] = c.get(key, 0) + pending
+                setattr(self, attr, 0)
 
     @abc.abstractmethod
     def should_prefetch(self, request: PrefetchRequest) -> bool:
@@ -50,8 +68,14 @@ class PollutionFilter(abc.ABC):
 
     # -- shared accounting -------------------------------------------------
     def _count_decision(self, allowed: bool) -> bool:
-        self.stats.bump("allowed" if allowed else "rejected")
+        if allowed:
+            self._n_allowed += 1
+        else:
+            self._n_rejected += 1
         return allowed
 
     def _count_feedback(self, referenced: bool) -> None:
-        self.stats.bump("feedback_good" if referenced else "feedback_bad")
+        if referenced:
+            self._n_fb_good += 1
+        else:
+            self._n_fb_bad += 1

@@ -35,6 +35,24 @@ class HistoryTable:
         self.counters = SaturatingCounterArray(entries, counter_bits, initial_value, threshold)
         self._initial = initial_value
         self.stats = stats if stats is not None else StatGroup("history_table")
+        self._n_lookup_good = 0
+        self._n_lookup_bad = 0
+        self._n_train_good = 0
+        self._n_train_bad = 0
+        self.stats.bind_flush(self._flush_stats)
+
+    def _flush_stats(self) -> None:
+        c = self.stats.counters
+        for key, attr in (
+            ("lookup_good", "_n_lookup_good"),
+            ("lookup_bad", "_n_lookup_bad"),
+            ("train_good", "_n_train_good"),
+            ("train_bad", "_n_train_bad"),
+        ):
+            pending = getattr(self, attr)
+            if pending:
+                c[key] = c.get(key, 0) + pending
+                setattr(self, attr, 0)
 
     def index_of(self, key: int) -> int:
         return table_index(key, self.entries, self.hash_scheme)
@@ -42,13 +60,19 @@ class HistoryTable:
     def predict_good(self, key: int) -> bool:
         """Lookup: should a prefetch keyed by ``key`` be performed?"""
         good = self.counters.predict(self.index_of(key))
-        self.stats.bump("lookup_good" if good else "lookup_bad")
+        if good:
+            self._n_lookup_good += 1
+        else:
+            self._n_lookup_bad += 1
         return good
 
     def train(self, key: int, was_referenced: bool) -> None:
         """Update from eviction feedback (strengthen on use, weaken on waste)."""
         self.counters.update(self.index_of(key), was_referenced)
-        self.stats.bump("train_good" if was_referenced else "train_bad")
+        if was_referenced:
+            self._n_train_good += 1
+        else:
+            self._n_train_bad += 1
 
     def reset(self) -> None:
         self.counters.fill(self._initial)

@@ -43,6 +43,22 @@ class Bus:
         self.stats = stats if stats is not None else StatGroup("bus")
         self.model_occupancy = model_occupancy
         self._busy_until = 0
+        # Per-kind line counts batched as integers (one transfer per cache
+        # fill makes this a hot counter site); folded in via flush hook.
+        self._n_kind = {kind: 0 for kind in TransferKind}
+        self._n_queued = 0
+        self.stats.bind_flush(self._flush_stats)
+
+    def _flush_stats(self) -> None:
+        c = self.stats.counters
+        for kind, pending in self._n_kind.items():
+            if pending:
+                key = f"lines_{kind.value}"
+                c[key] = c.get(key, 0) + pending
+                self._n_kind[kind] = 0
+        if self._n_queued:
+            c["queued_cycles"] = c.get("queued_cycles", 0) + self._n_queued
+            self._n_queued = 0
 
     def transfer(self, kind: TransferKind, when: int) -> int:
         """Record one line transfer starting no earlier than ``when``.
@@ -51,13 +67,11 @@ class Bus:
         ``when + cycles_per_line`` on an idle bus).  With occupancy modelling
         disabled the bus is infinitely wide and only the counters move.
         """
-        self.stats.bump(f"lines_{kind.value}")
+        self._n_kind[kind] += 1
         if not self.model_occupancy:
             return when + self.cycles_per_line
         start = max(when, self._busy_until)
-        queued = start - when
-        if queued:
-            self.stats.bump("queued_cycles", queued)
+        self._n_queued += start - when
         self._busy_until = start + self.cycles_per_line
         return self._busy_until
 

@@ -45,7 +45,7 @@ class FillSource(enum.IntEnum):
         return self is not FillSource.DEMAND
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EvictedLine:
     """Everything the filter/classifier needs to know about an eviction."""
 
@@ -116,16 +116,47 @@ class Cache:
         ]
         self._occupancy = 0
         self.on_evict: Optional[EvictionCallback] = None
-        # Hoist counter dicts: bump() twice per access adds up.
-        self._counters = self.stats.counters
         # Policy fast paths, resolved once.
         from repro.mem.replacement import FIFOPolicy, LRUPolicy
 
         self._refresh_on_access = isinstance(policy, LRUPolicy)
         self._min_stamp_victim = isinstance(policy, (LRUPolicy, FIFOPolicy))
+        # Hot-path event counts are batched in plain integer attributes and
+        # folded into the stats dict lazily (flush hook): the cache is
+        # probed once or twice per memory instruction, and string-keyed
+        # dict arithmetic per event dominates otherwise.
+        self._n_read_hit = 0
+        self._n_read_miss = 0
+        self._n_write_hit = 0
+        self._n_write_miss = 0
+        self._n_first_use = 0
+        self._n_duplicate_fill = 0
+        self._n_evictions = 0
+        self._n_evicted_used = 0
+        self._n_evicted_unused = 0
+        self._n_prefetch_fill = 0
+        self._n_demand_fill = 0
+        self.stats.bind_flush(self._flush_stats)
 
-    def _bump(self, key: str, amount: int = 1) -> None:
-        self._counters[key] = self._counters.get(key, 0) + amount
+    def _flush_stats(self) -> None:
+        c = self.stats.counters
+        for key, attr in (
+            ("demand_read_hit", "_n_read_hit"),
+            ("demand_read_miss", "_n_read_miss"),
+            ("demand_write_hit", "_n_write_hit"),
+            ("demand_write_miss", "_n_write_miss"),
+            ("prefetched_line_first_use", "_n_first_use"),
+            ("duplicate_fill", "_n_duplicate_fill"),
+            ("evictions", "_n_evictions"),
+            ("evicted_prefetched_used", "_n_evicted_used"),
+            ("evicted_prefetched_unused", "_n_evicted_unused"),
+            ("prefetch_fill", "_n_prefetch_fill"),
+            ("demand_fill", "_n_demand_fill"),
+        ):
+            pending = getattr(self, attr)
+            if pending:
+                c[key] = c.get(key, 0) + pending
+                setattr(self, attr, 0)
 
     # ------------------------------------------------------------------
     # Address plumbing
@@ -169,13 +200,19 @@ class Cache:
         """
         line = self._find(line_addr)
         if line is None:
-            self._bump("demand_write_miss" if is_write else "demand_read_miss")
+            if is_write:
+                self._n_write_miss += 1
+            else:
+                self._n_read_miss += 1
             return False, False
-        self._bump("demand_write_hit" if is_write else "demand_read_hit")
+        if is_write:
+            self._n_write_hit += 1
+        else:
+            self._n_read_hit += 1
         first_use = line.pib and not line.rib
         if first_use:
             line.rib = True
-            self._bump("prefetched_line_first_use")
+            self._n_first_use += 1
         if is_write:
             line.dirty = True
         if self._refresh_on_access:
@@ -220,7 +257,7 @@ class Cache:
                 line.stamp = now
                 if dirty:
                     line.dirty = True
-                self._bump("duplicate_fill")
+                self._n_duplicate_fill += 1
                 return None
             if victim_slot is None and not line.valid:
                 victim_slot = line
@@ -243,9 +280,12 @@ class Cache:
                 victim_slot = entries[self.policy.victim(valid, stamps)]
             evicted = victim_slot.evict_record()
             self._occupancy -= 1
-            self._bump("evictions")
+            self._n_evictions += 1
             if evicted.pib:
-                self._bump("evicted_prefetched_used" if evicted.rib else "evicted_prefetched_unused")
+                if evicted.rib:
+                    self._n_evicted_used += 1
+                else:
+                    self._n_evicted_unused += 1
             if self.on_evict is not None:
                 self.on_evict(evicted)
 
@@ -259,7 +299,10 @@ class Cache:
         victim_slot.trigger_pc = trigger_pc
         victim_slot.stamp = now
         self._occupancy += 1
-        self._bump("prefetch_fill" if source.is_prefetch else "demand_fill")
+        if source.is_prefetch:
+            self._n_prefetch_fill += 1
+        else:
+            self._n_demand_fill += 1
         return evicted
 
     def invalidate(self, line_addr: int) -> Optional[EvictedLine]:

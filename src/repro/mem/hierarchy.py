@@ -28,7 +28,7 @@ from repro.mem.ports import PortArbiter
 from repro.mem.prefetch_buffer import BufferedLine, PrefetchBuffer
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AccessResult:
     """Outcome of one demand access, consumed by the timing engine."""
 
@@ -49,7 +49,7 @@ class AccessResult:
         return self.complete - self.grant
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PrefetchOutcome:
     """Outcome of one prefetch issued to the hierarchy."""
 
@@ -85,6 +85,11 @@ class MemoryHierarchy:
             self.buffer = PrefetchBuffer(buffer_config.entries, stats=root["prefetch_buffer"])
         self.on_buffer_evict: Optional[BufferEvictCallback] = None
         self._l1_writeback_sink = self._handle_l1_eviction_writeback
+        # Hot-path constants, hoisted out of demand_access.
+        self._l1_latency = config.l1.latency
+        self._l2_latency = config.l2.latency
+        self._memory_latency = config.memory_latency
+        self._l1_writeback = config.l1.writeback
 
     # ------------------------------------------------------------------
     # Internal fill plumbing
@@ -100,11 +105,12 @@ class MemoryHierarchy:
 
     def _fetch_into_l2(self, line_addr: int, when: int, kind: TransferKind) -> tuple[int, bool]:
         """L2 lookup + memory fetch on miss; returns (data-ready time, l2 hit)."""
+        l2_latency = self._l2_latency
         hit, _ = self.l2.access(line_addr, False, when)
         if hit:
-            return when + self.config.l2.latency, True
-        done = self.mem_bus.transfer(kind, when + self.config.l2.latency)
-        ready = done + self.config.memory_latency
+            return when + l2_latency, True
+        done = self.mem_bus.transfer(kind, when + l2_latency)
+        ready = done + self._memory_latency
         victim = self.l2.fill(line_addr, when, FillSource.DEMAND)
         if victim is not None and victim.dirty:
             self.mem_bus.transfer(TransferKind.WRITEBACK, when)
@@ -115,12 +121,13 @@ class MemoryHierarchy:
     # ------------------------------------------------------------------
     def demand_access(self, byte_addr: int, is_write: bool, when: int) -> AccessResult:
         """One load/store: port arbitration, L1, buffer probe, L2, memory."""
-        line = self.l1.line_address(byte_addr)
+        l1 = self.l1
+        line = l1.line_address(byte_addr)
         grant = self.ports.acquire_demand(when)
         pending = self.mshr.pending_ready(line, grant)
-        nsp_tag_hit = self.l1.consume_nsp_tag(line)
-        hit, first_use = self.l1.access(line, is_write, grant)
-        l1_lat = self.config.l1.latency
+        nsp_tag_hit = l1.consume_nsp_tag(line)
+        hit, first_use = l1.access(line, is_write, grant)
+        l1_lat = self._l1_latency
 
         if hit:
             # A pending MSHR entry means the line's fill is still in flight
@@ -133,10 +140,10 @@ class MemoryHierarchy:
         if self.buffer is not None:
             promoted = self.buffer.demand_probe(line)
             if promoted is not None:
-                evicted = self.l1.fill(line, grant, promoted.source, promoted.trigger_pc)
+                evicted = l1.fill(line, grant, promoted.source, promoted.trigger_pc)
                 if evicted is not None:
                     self._l1_writeback_sink(evicted, grant)
-                self.l1.access(line, is_write, grant)  # sets RIB, recency
+                l1.access(line, is_write, grant)  # sets RIB, recency
                 self.stats.bump("buffer_promotions")
                 complete = grant + l1_lat + (pending - grant if pending else 0)
                 return AccessResult(line, grant, complete, False, None, False, nsp_tag_hit, True, True)
@@ -144,7 +151,7 @@ class MemoryHierarchy:
         l2_data_at, l2_hit = self._fetch_into_l2(line, grant + l1_lat, TransferKind.DEMAND_FILL)
         self.l1_bus.transfer(TransferKind.DEMAND_FILL, grant)
         ready, stalled = self.mshr.allocate(line, l2_data_at, grant)
-        evicted = self.l1.fill(line, grant, FillSource.DEMAND, dirty=is_write and self.config.l1.writeback)
+        evicted = l1.fill(line, grant, FillSource.DEMAND, dirty=is_write and self._l1_writeback)
         if evicted is not None:
             self._l1_writeback_sink(evicted, grant)
         return AccessResult(

@@ -30,6 +30,24 @@ class MSHRFile:
         #: dict scan when nothing can have completed yet (the common case).
         self._min_ready = 0
         self.stats = stats if stats is not None else StatGroup("mshr")
+        self._n_merged = 0
+        self._n_stall = 0
+        self._n_stall_cycles = 0
+        self._n_allocated = 0
+        self.stats.bind_flush(self._flush_stats)
+
+    def _flush_stats(self) -> None:
+        c = self.stats.counters
+        for key, attr in (
+            ("merged", "_n_merged"),
+            ("structural_stall", "_n_stall"),
+            ("structural_stall_cycles", "_n_stall_cycles"),
+            ("allocated", "_n_allocated"),
+        ):
+            pending = getattr(self, attr)
+            if pending:
+                c[key] = c.get(key, 0) + pending
+                setattr(self, attr, 0)
 
     def __len__(self) -> int:
         return len(self._pending)
@@ -68,7 +86,7 @@ class MSHRFile:
         self._prune(now)
         existing = self._pending.get(line_addr)
         if existing is not None:
-            self.stats.bump("merged")
+            self._n_merged += 1
             if ready < existing:
                 self._pending[line_addr] = ready
                 if ready < self._min_ready:
@@ -81,8 +99,8 @@ class MSHRFile:
             stall = max(0, earliest - now)
             ready += stall
             stalled = True
-            self.stats.bump("structural_stall")
-            self.stats.bump("structural_stall_cycles", stall)
+            self._n_stall += 1
+            self._n_stall_cycles += stall
             # The earliest entry has retired by `earliest`; reuse its slot.
             for line, r in list(self._pending.items()):
                 if r == earliest:
@@ -92,7 +110,7 @@ class MSHRFile:
         self._pending[line_addr] = ready
         if len(self._pending) == 1 or ready < self._min_ready:
             self._min_ready = ready
-        self.stats.bump("allocated")
+        self._n_allocated += 1
         return ready, stalled
 
     def clear(self) -> None:

@@ -18,7 +18,12 @@ from repro.common.stats import StatGroup
 
 
 class PortArbiter:
-    """Tracks per-port availability over monotone-ish timestamps."""
+    """Tracks per-port availability over monotone-ish timestamps.
+
+    Event counts are batched in integer attributes and folded into the
+    stats dict lazily through the group's flush hook (one arbitration per
+    memory instruction makes this one of the hottest counter sites).
+    """
 
     def __init__(self, num_ports: int, stats: StatGroup | None = None) -> None:
         if num_ports < 1:
@@ -26,24 +31,39 @@ class PortArbiter:
         self.num_ports = num_ports
         self._next_free = [0] * num_ports
         self.stats = stats if stats is not None else StatGroup("ports")
+        self._n_demand = 0
+        self._n_wait = 0
+        self._n_denied = 0
+        self._n_prefetch = 0
+        self.stats.bind_flush(self._flush_stats)
 
-    def _earliest(self) -> int:
-        best, best_t = 0, self._next_free[0]
-        for i in range(1, self.num_ports):
-            t = self._next_free[i]
-            if t < best_t:
-                best, best_t = i, t
-        return best
+    def _flush_stats(self) -> None:
+        c = self.stats.counters
+        if self._n_demand:
+            c["demand_grants"] = c.get("demand_grants", 0) + self._n_demand
+            self._n_demand = 0
+        if self._n_wait:
+            c["demand_wait_cycles"] = c.get("demand_wait_cycles", 0) + self._n_wait
+            self._n_wait = 0
+        if self._n_denied:
+            c["prefetch_denied"] = c.get("prefetch_denied", 0) + self._n_denied
+            self._n_denied = 0
+        if self._n_prefetch:
+            c["prefetch_grants"] = c.get("prefetch_grants", 0) + self._n_prefetch
+            self._n_prefetch = 0
 
     def acquire_demand(self, when: int) -> int:
         """Grant a port to a demand access; returns the grant cycle (>= when)."""
-        port = self._earliest()
-        grant = max(when, self._next_free[port])
-        self._next_free[port] = grant + 1
-        wait = grant - when
-        self.stats.bump("demand_grants")
-        if wait:
-            self.stats.bump("demand_wait_cycles", wait)
+        free = self._next_free
+        port, best_t = 0, free[0]
+        for i in range(1, self.num_ports):
+            t = free[i]
+            if t < best_t:
+                port, best_t = i, t
+        grant = when if when >= best_t else best_t
+        free[port] = grant + 1
+        self._n_demand += 1
+        self._n_wait += grant - when
         return grant
 
     def try_acquire_prefetch(self, when: int) -> int | None:
@@ -52,12 +72,17 @@ class PortArbiter:
         Returns the grant cycle or None when every port is busy — the
         prefetch stays queued and retries later.
         """
-        port = self._earliest()
-        if self._next_free[port] > when:
-            self.stats.bump("prefetch_denied")
+        free = self._next_free
+        port, best_t = 0, free[0]
+        for i in range(1, self.num_ports):
+            t = free[i]
+            if t < best_t:
+                port, best_t = i, t
+        if best_t > when:
+            self._n_denied += 1
             return None
-        self._next_free[port] = when + 1
-        self.stats.bump("prefetch_grants")
+        free[port] = when + 1
+        self._n_prefetch += 1
         return when
 
     def earliest_free(self) -> int:

@@ -32,14 +32,29 @@ class NextSequencePrefetcher(HardwarePrefetcher):
             raise ValueError("prefetch degree must be at least 1")
         self.degree = degree
         self.stats = stats if stats is not None else StatGroup("nsp")
+        self._n_trigger_miss = 0
+        self._n_trigger_tag = 0
+        self.stats.bind_flush(self._flush_stats)
+
+    def _flush_stats(self) -> None:
+        c = self.stats.counters
+        if self._n_trigger_miss:
+            c["trigger_miss"] = c.get("trigger_miss", 0) + self._n_trigger_miss
+            self._n_trigger_miss = 0
+        if self._n_trigger_tag:
+            c["trigger_tag_hit"] = c.get("trigger_tag_hit", 0) + self._n_trigger_tag
+            self._n_trigger_tag = 0
 
     def observe(self, pc: int, result: AccessResult) -> List[PrefetchRequest]:
-        triggered = (not result.l1_hit) or result.nsp_tag_hit
-        if not triggered:
+        if not result.l1_hit:
+            self._n_trigger_miss += 1
+        elif result.nsp_tag_hit:
+            self._n_trigger_tag += 1
+        else:
             return []
-        self.stats.bump("trigger_miss" if not result.l1_hit else "trigger_tag_hit")
+        line = result.line_addr
         return [
-            PrefetchRequest(result.line_addr + d, pc, FillSource.NSP)
+            PrefetchRequest(line + d, pc, FillSource.NSP)
             for d in range(1, self.degree + 1)
         ]
 

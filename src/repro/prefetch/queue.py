@@ -26,6 +26,24 @@ class PrefetchQueue:
         self.capacity = capacity
         self._q: Deque[Tuple[PrefetchRequest, int]] = deque()
         self.stats = stats if stats is not None else StatGroup("prefetch_queue")
+        self._n_dropped_full = 0
+        self._n_enqueued = 0
+        self._n_issued = 0
+        self._n_delay = 0
+        self.stats.bind_flush(self._flush_stats)
+
+    def _flush_stats(self) -> None:
+        c = self.stats.counters
+        for key, attr in (
+            ("dropped_full", "_n_dropped_full"),
+            ("enqueued", "_n_enqueued"),
+            ("issued", "_n_issued"),
+            ("queue_delay_cycles", "_n_delay"),
+        ):
+            pending = getattr(self, attr)
+            if pending:
+                c[key] = c.get(key, 0) + pending
+                setattr(self, attr, 0)
 
     def __len__(self) -> int:
         return len(self._q)
@@ -40,11 +58,11 @@ class PrefetchQueue:
         A full queue drops the *incoming* request: the queued ones are older
         and closer to issue, and hardware cannot renege an allocated slot.
         """
-        if self.full:
-            self.stats.bump("dropped_full")
+        if len(self._q) >= self.capacity:
+            self._n_dropped_full += 1
             return False
         self._q.append((request, now))
-        self.stats.bump("enqueued")
+        self._n_enqueued += 1
         return True
 
     def peek(self) -> Optional[Tuple[PrefetchRequest, int]]:
@@ -53,9 +71,9 @@ class PrefetchQueue:
     def pop(self, issue_cycle: int) -> PrefetchRequest:
         """Dequeue the head for issue at ``issue_cycle`` (records queue delay)."""
         request, enqueued = self._q.popleft()
-        delay = max(0, issue_cycle - enqueued)
-        self.stats.bump("issued")
-        self.stats.bump("queue_delay_cycles", delay)
+        self._n_issued += 1
+        if issue_cycle > enqueued:
+            self._n_delay += issue_cycle - enqueued
         return request
 
     def pending_requests(self) -> list[PrefetchRequest]:

@@ -30,7 +30,7 @@ from repro.mem.hierarchy import AccessResult
 from repro.prefetch.base import HardwarePrefetcher, PrefetchRequest
 
 
-@dataclass
+@dataclass(slots=True)
 class _ShadowEntry:
     shadow: int
     confirmed: bool = True  # optimistic: a fresh shadow gets one chance
@@ -46,6 +46,24 @@ class ShadowDirectoryPrefetcher(HardwarePrefetcher):
         self._last_l2_line: Optional[int] = None
         #: prefetched line -> parent line whose confirmation it proves
         self._awaiting_confirm: Dict[int, int] = {}
+        self._n_issued = 0
+        self._n_suppressed = 0
+        self._n_learned = 0
+        self._n_confirmed = 0
+        self.stats.bind_flush(self._flush_stats)
+
+    def _flush_stats(self) -> None:
+        c = self.stats.counters
+        for key, attr in (
+            ("shadow_issued", "_n_issued"),
+            ("shadow_suppressed", "_n_suppressed"),
+            ("shadow_learned", "_n_learned"),
+            ("confirmed", "_n_confirmed"),
+        ):
+            pending = getattr(self, attr)
+            if pending:
+                c[key] = c.get(key, 0) + pending
+                setattr(self, attr, 0)
 
     # ------------------------------------------------------------------
     def observe(self, pc: int, result: AccessResult) -> List[PrefetchRequest]:
@@ -62,10 +80,10 @@ class ShadowDirectoryPrefetcher(HardwarePrefetcher):
                 # Re-arm: the prefetch must be used again to stay confirmed.
                 entry.confirmed = False
                 self._awaiting_confirm[entry.shadow] = line
-                self.stats.bump("shadow_issued")
+                self._n_issued += 1
                 requests.append(PrefetchRequest(entry.shadow, pc, FillSource.SDP))
             else:
-                self.stats.bump("shadow_suppressed")
+                self._n_suppressed += 1
 
         # Learn: every reference reaching the L2 is a miss from the L1's
         # point of view, so this line is the "next line missed" after the
@@ -75,7 +93,7 @@ class ShadowDirectoryPrefetcher(HardwarePrefetcher):
             old = self._directory.get(prev)
             if old is None or old.shadow != line:
                 self._directory[prev] = _ShadowEntry(shadow=line, confirmed=True)
-                self.stats.bump("shadow_learned")
+                self._n_learned += 1
         self._last_l2_line = line
         return requests
 
@@ -88,7 +106,7 @@ class ShadowDirectoryPrefetcher(HardwarePrefetcher):
         entry = self._directory.get(parent)
         if entry is not None and entry.shadow == line_addr:
             entry.confirmed = True
-            self.stats.bump("confirmed")
+            self._n_confirmed += 1
 
     def on_l2_eviction(self, line_addr: int) -> None:
         self._directory.pop(line_addr, None)

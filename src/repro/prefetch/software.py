@@ -21,8 +21,16 @@ class SoftwarePrefetchUnit:
     def __init__(self, line_bytes: int = 32, stats: StatGroup | None = None) -> None:
         self.line_shift = line_bytes.bit_length() - 1
         self.stats = stats if stats is not None else StatGroup("sw_prefetch")
+        self._n_executed = 0
+        self.stats.bind_flush(self._flush_stats)
+
+    def _flush_stats(self) -> None:
+        if self._n_executed:
+            c = self.stats.counters
+            c["executed"] = c.get("executed", 0) + self._n_executed
+            self._n_executed = 0
 
     def request(self, pc: int, byte_addr: int) -> PrefetchRequest:
         """Turn one executed software-prefetch instruction into a request."""
-        self.stats.bump("executed")
+        self._n_executed += 1
         return PrefetchRequest(byte_addr >> self.line_shift, pc, FillSource.SOFTWARE)
