@@ -66,12 +66,18 @@ class ExperimentSuite:
         seed: int = 0,
         workers: int = 1,
         cache: Optional[ResultCache] = None,
+        engine: Optional[str] = None,
     ) -> None:
         self.n_insts = n_insts
         self.warmup = warmup if warmup is not None else int(n_insts * 0.4)
         self.seed = seed
         self.workers = workers
         self.cache = cache
+        #: engine tier for every run in the suite; ``None`` defers to each
+        #: config.  The vector tier suits classification-level experiments
+        #: (filter comparisons, table sweeps); keep IPC/port/buffer figures
+        #: on the pipeline tier — see docs/architecture.md, "Engine tiers".
+        self.engine = engine
         self.benches = workload_names()
         #: in-memory memo, keyed by the run's stable content hash (the same
         #: key the disk cache uses), so experiments sharing simulations run
@@ -90,7 +96,7 @@ class ExperimentSuite:
         return cfg.with_warmup(self.warmup)
 
     def _job(self, workload: str, config: SimulationConfig, software_prefetch: bool = True) -> SimulationJob:
-        return SimulationJob(workload, config, self.n_insts, self.seed, software_prefetch)
+        return SimulationJob(workload, config, self.n_insts, self.seed, software_prefetch, self.engine)
 
     def _ensure(self, specs: Sequence[SimulationJob]) -> None:
         """Run (in one parallel batch) every spec not already memoised."""

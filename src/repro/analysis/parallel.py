@@ -12,13 +12,25 @@ Design points:
   ``run_jobs(jobs)[i]`` always corresponds to ``jobs[i]`` no matter which
   worker finished first; and every job is itself a pure function of its
   fields (trace synthesis is seeded).
-* **Serial fallback** — ``workers<=1``, a single pending job, or a broken
-  process pool (e.g. a sandbox that forbids ``fork``) all degrade to plain
-  in-process execution with identical results.
+* **Serial fallback** — ``workers=1``, a single pending job, a broken
+  process pool (e.g. a sandbox that forbids ``fork``), or running *inside*
+  a pool worker already (nested fan-out would oversubscribe the machine
+  quadratically) all degrade to plain in-process execution with identical
+  results.
+* **Bounded fan-out** — worker counts above ``os.cpu_count()`` are
+  clamped (extra processes only add memory pressure and context
+  switches), and nonpositive requests are rejected loudly rather than
+  silently serialised.
 * **Cache integration** — with a :class:`~repro.analysis.result_cache
   .ResultCache` attached, cached keys are served without touching a worker
   and fresh results are written back, so a warm cache turns a whole suite
   into pure disk reads.
+* **Zero-copy traces** — before fanning out, the parent materialises each
+  distinct trace once (through a :class:`~repro.trace.store.TraceStore`
+  when given one) and publishes it via POSIX shared memory; workers map
+  the columns in place instead of regenerating multi-megabyte traces per
+  process.  If shared memory is unavailable the batch still runs —
+  workers just synthesise their own traces as before.
 """
 
 from __future__ import annotations
@@ -26,13 +38,19 @@ from __future__ import annotations
 import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.result_cache import ResultCache, run_key
 from repro.common.config import SimulationConfig
 from repro.core.simulator import SimulationResult
+from repro.trace.store import SharedTrace, SharedTraceHandle, TraceStore, attach_trace, share_trace
 
 _WORKERS_ENV = "REPRO_WORKERS"
+
+#: Set in every pool worker's environment; its presence tells a nested
+#: ``run_jobs`` call that it is already inside the fan-out and must run
+#: serially instead of forking a second pool per worker.
+_POOL_WORKER_ENV = "REPRO_POOL_WORKER"
 
 
 @dataclass(frozen=True)
@@ -42,6 +60,8 @@ class SimulationJob:
     The job (not a live simulator) is what crosses the process boundary:
     workers rebuild the machine from the config, which keeps the pickled
     payload tiny and sidesteps every unpicklable hardware-model handle.
+    ``engine=None`` defers to ``config.engine`` — the two spellings hash
+    to the same cache key, so a sweep can name its engine either way.
     """
 
     workload: str
@@ -49,7 +69,11 @@ class SimulationJob:
     n_insts: int = 100_000
     seed: int = 0
     software_prefetch: bool = True
-    engine: str = "pipeline"
+    engine: Optional[str] = None
+
+    @property
+    def engine_name(self) -> str:
+        return self.engine if self.engine is not None else self.config.engine
 
     def key(self) -> str:
         """The job's content hash — also its result-cache address."""
@@ -59,18 +83,38 @@ class SimulationJob:
             self.n_insts,
             self.seed,
             self.software_prefetch,
-            self.engine,
+            self.engine_name,
         )
 
 
-def execute_job(job: SimulationJob) -> SimulationResult:
+def execute_job(
+    job: SimulationJob,
+    trace_handle: Optional[SharedTraceHandle] = None,
+    trace=None,
+) -> SimulationResult:
     """Run one job in the current process (the worker entry point).
 
-    Imported lazily to keep this module import-light for the executor's
-    child processes and free of an import cycle with the sweep drivers.
+    ``trace_handle`` maps a parent-owned shared-memory trace instead of
+    regenerating it; ``trace`` passes one in-process.  The import is lazy
+    to keep this module light for the executor's child processes and free
+    of an import cycle with the sweep drivers.
     """
     from repro.analysis.sweep import run_workload
 
+    if trace is None and trace_handle is not None:
+        attachment = attach_trace(trace_handle)
+        try:
+            return run_workload(
+                job.workload,
+                job.config,
+                job.n_insts,
+                job.seed,
+                job.engine,
+                job.software_prefetch,
+                trace=attachment.trace,
+            )
+        finally:
+            attachment.detach()
     return run_workload(
         job.workload,
         job.config,
@@ -78,45 +122,118 @@ def execute_job(job: SimulationJob) -> SimulationResult:
         job.seed,
         job.engine,
         job.software_prefetch,
+        trace=trace,
     )
 
 
+def _validated(workers: int, source: str) -> int:
+    if workers <= 0:
+        raise ValueError(
+            f"{source} must be a positive worker count (got {workers}); "
+            "use workers=1 for serial execution"
+        )
+    return min(workers, os.cpu_count() or 1)
+
+
 def default_workers() -> int:
-    """Worker count: ``REPRO_WORKERS`` env override, else the CPU count."""
+    """Worker count: ``REPRO_WORKERS`` env override, else the CPU count.
+
+    The override is clamped to the machine's CPU count; a nonpositive
+    value raises (a user asking for 0 or -2 workers is a mistake, not a
+    request for serial mode), and a malformed value falls back to the
+    CPU count.
+    """
     env = os.environ.get(_WORKERS_ENV)
     if env:
         try:
-            return max(1, int(env))
+            value = int(env)
         except ValueError:
-            pass
+            value = None
+        if value is not None:
+            return _validated(value, f"{_WORKERS_ENV}={env}")
     return os.cpu_count() or 1
+
+
+def _mark_pool_worker() -> None:
+    """Pool initializer: brand the worker so nested fan-out stays serial."""
+    os.environ[_POOL_WORKER_ENV] = "1"
 
 
 def _run_serial(
     pending: Sequence[tuple[int, SimulationJob]],
     results: List[Optional[SimulationResult]],
     cache: Optional[ResultCache],
+    trace_store: Optional[TraceStore] = None,
 ) -> None:
     for index, job in pending:
-        result = execute_job(job)
+        trace = None
+        if trace_store is not None:
+            trace = trace_store.get_or_build(
+                job.workload, job.n_insts, job.seed, job.software_prefetch
+            )
+        result = execute_job(job, trace=trace)
         results[index] = result
         if cache is not None:
             cache.put(job.key(), result)
+
+
+def _trace_params(job: SimulationJob) -> Tuple[str, int, int, bool]:
+    return (job.workload, job.n_insts, job.seed, job.software_prefetch)
+
+
+def _share_pending_traces(
+    pending: Sequence[tuple[int, SimulationJob]],
+    trace_store: Optional[TraceStore],
+) -> Dict[Tuple[str, int, int, bool], SharedTrace]:
+    """Publish each distinct pending trace once via shared memory.
+
+    Best-effort: a platform without (enough) shared memory returns what
+    was shared so far and the rest of the batch falls back to per-worker
+    synthesis.
+    """
+    shared: Dict[Tuple[str, int, int, bool], SharedTrace] = {}
+    for _, job in pending:
+        params = _trace_params(job)
+        if params in shared:
+            continue
+        try:
+            if trace_store is not None:
+                trace = trace_store.get_or_build(*params)
+            else:
+                from repro.workloads import cached_trace
+
+                trace = cached_trace(*params)
+            shared[params] = share_trace(trace)
+        except OSError:
+            break
+    return shared
 
 
 def run_jobs(
     jobs: Sequence[SimulationJob],
     workers: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    trace_store: Optional[TraceStore] = None,
+    share_traces: bool = True,
 ) -> List[SimulationResult]:
     """Execute ``jobs``; returns results aligned with the input order.
 
-    ``workers=None`` picks :func:`default_workers`; ``workers<=1`` runs
-    serially in-process.  With ``cache`` set, cached jobs are never
-    executed and fresh results are persisted.
+    ``workers=None`` picks :func:`default_workers`; explicit counts are
+    validated and clamped to the CPU count; ``workers=1`` runs serially
+    in-process (as does any call made from inside a pool worker).  With
+    ``cache`` set, cached jobs are never executed and fresh results are
+    persisted.  With ``trace_store`` set, traces come from (and are saved
+    to) the on-disk store instead of being synthesised per call; with
+    ``share_traces`` (the default), parallel workers additionally map
+    each distinct trace from parent-owned shared memory instead of
+    building their own copy.
     """
     if workers is None:
         workers = default_workers()
+    else:
+        workers = _validated(workers, "workers")
+    if os.environ.get(_POOL_WORKER_ENV):
+        workers = 1  # already inside a pool worker: no nested pools
 
     results: List[Optional[SimulationResult]] = [None] * len(jobs)
     pending: List[tuple[int, SimulationJob]] = []
@@ -131,14 +248,19 @@ def run_jobs(
         return results  # type: ignore[return-value]
 
     if workers <= 1 or len(pending) == 1:
-        _run_serial(pending, results, cache)
+        _run_serial(pending, results, cache, trace_store)
         return results  # type: ignore[return-value]
 
+    shared = _share_pending_traces(pending, trace_store) if share_traces else {}
     try:
-        with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
-            future_index: Dict = {
-                pool.submit(execute_job, job): index for index, job in pending
-            }
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(pending)), initializer=_mark_pool_worker
+        ) as pool:
+            future_index: Dict = {}
+            for index, job in pending:
+                entry = shared.get(_trace_params(job))
+                handle = entry.handle if entry is not None else None
+                future_index[pool.submit(execute_job, job, handle)] = index
             not_done = set(future_index)
             while not_done:
                 done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
@@ -153,6 +275,9 @@ def run_jobs(
         # support, resource limits, killed worker): finish the remaining
         # jobs serially — same results, just slower.
         remaining = [(i, job) for i, job in pending if results[i] is None]
-        _run_serial(remaining, results, cache)
+        _run_serial(remaining, results, cache, trace_store)
+    finally:
+        for entry in shared.values():
+            entry.close()
 
     return results  # type: ignore[return-value]

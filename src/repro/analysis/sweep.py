@@ -39,15 +39,20 @@ def run_workload(
     config: SimulationConfig,
     n_insts: int = 100_000,
     seed: int = 0,
-    engine: str = "pipeline",
+    engine: Optional[str] = None,
     software_prefetch: bool = True,
+    trace: Optional[Trace] = None,
 ) -> SimulationResult:
     """One run of one benchmark under one configuration.
 
     Dispatches to the two-pass protocols automatically when the config asks
-    for the ORACLE or STATIC filter.
+    for the ORACLE or STATIC filter.  ``engine=None`` defers to
+    ``config.engine``; a pre-built ``trace`` (e.g. from a
+    :class:`~repro.trace.store.TraceStore` or a shared-memory mapping)
+    skips trace synthesis entirely.
     """
-    trace = _trace_for(workload, n_insts, seed, software_prefetch)
+    if trace is None:
+        trace = _trace_for(workload, n_insts, seed, software_prefetch)
     kind = config.filter.kind
     if kind is FilterKind.ORACLE:
         return run_oracle(trace, config, engine)
@@ -56,7 +61,7 @@ def run_workload(
     return Simulator(config, engine=engine).run(trace)
 
 
-def run_oracle(trace: Trace, config: SimulationConfig, engine: str = "pipeline") -> SimulationResult:
+def run_oracle(trace: Trace, config: SimulationConfig, engine: Optional[str] = None) -> SimulationResult:
     """Two-pass oracle: profile with no filtering, replay dropping bad ones."""
     profiler = OracleProfileBuilder()
     Simulator(config, filter_=profiler, engine=engine).run(trace)
@@ -64,7 +69,7 @@ def run_oracle(trace: Trace, config: SimulationConfig, engine: str = "pipeline")
     return Simulator(config, filter_=oracle, engine=engine).run(trace)
 
 
-def run_static(trace: Trace, config: SimulationConfig, engine: str = "pipeline") -> SimulationResult:
+def run_static(trace: Trace, config: SimulationConfig, engine: Optional[str] = None) -> SimulationResult:
     """Two-pass static filter: offline profile, then PC-set filtering."""
     observer = ProfilingObserver()
     Simulator(config, filter_=observer, engine=engine).run(trace)
@@ -78,7 +83,7 @@ def compare_filters(
     kinds: Sequence[FilterKind] = (FilterKind.NONE, FilterKind.PA, FilterKind.PC),
     n_insts: int = 100_000,
     seed: int = 0,
-    engine: str = "pipeline",
+    engine: Optional[str] = None,
     workers: int = 1,
     cache: Optional[ResultCache] = None,
 ) -> Dict[FilterKind, SimulationResult]:
@@ -97,7 +102,7 @@ def sweep_history_sizes(
     entries: Sequence[int] = (1024, 2048, 4096, 8192, 16384),
     n_insts: int = 100_000,
     seed: int = 0,
-    engine: str = "pipeline",
+    engine: Optional[str] = None,
     workers: int = 1,
     cache: Optional[ResultCache] = None,
 ) -> Dict[int, SimulationResult]:
@@ -116,7 +121,7 @@ def sweep_l1_ports(
     filter_kind: FilterKind = FilterKind.PA,
     n_insts: int = 100_000,
     seed: int = 0,
-    engine: str = "pipeline",
+    engine: Optional[str] = None,
     workers: int = 1,
     cache: Optional[ResultCache] = None,
 ) -> Dict[int, SimulationResult]:
@@ -134,7 +139,7 @@ def run_all_workloads(
     config: SimulationConfig,
     n_insts: int = 100_000,
     seed: int = 0,
-    engine: str = "pipeline",
+    engine: Optional[str] = None,
     workers: int = 1,
     cache: Optional[ResultCache] = None,
 ) -> List[SimulationResult]:

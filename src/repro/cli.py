@@ -10,6 +10,7 @@ Subcommands::
     repro-sim sweep --workload wave5 --what history
     repro-sim export --workload gcc --filter pa --format csv
     repro-sim bench --workload em3d --runs 5 --workers 0
+    repro-sim bench --engines pipeline vector --insts 200000
 
 Exists so the simulator can be driven without writing Python — handy for
 quick sanity checks and for regenerating individual paper rows.
@@ -30,7 +31,12 @@ from repro.workloads import workload_names
 def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--insts", type=int, default=50_000, help="instruction budget per run")
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--engine", choices=["pipeline", "interval"], default="pipeline")
+    p.add_argument(
+        "--engine",
+        choices=["pipeline", "interval", "vector"],
+        default=None,
+        help="simulation engine (default: the config's engine, i.e. pipeline)",
+    )
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -128,6 +134,142 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bench_engines(args: argparse.Namespace) -> int:
+    """The ``bench --engines`` axis: per-run engine speedups + counter gaps.
+
+    Times every (workload, filter) cell under each requested engine,
+    records the speedup and the relative classification-counter deltas
+    against the first engine listed (the reference, normally the
+    pipeline), and times the trace store cold (synthesise + save) versus
+    warm (load).  The report lands in ``--out`` (default
+    ``BENCH_vector.json``) — it is the documented-tolerance artefact the
+    vector engine's fidelity contract points at.
+    """
+    import json
+    import math
+    import tempfile
+    import time
+
+    from repro.analysis.sweep import run_workload
+    from repro.trace.store import TraceStore
+    from repro.workloads import cached_trace
+
+    reference = args.engines[0]
+    workloads = [args.workload] if args.workload else list(workload_names())
+    filters = ("none", "pa", "pc")
+    counter_keys = (
+        "generated", "squashed", "filtered", "dropped", "issued", "good", "bad",
+    )
+    scalar_keys = (
+        "l1_demand_accesses", "l1_demand_misses", "l2_demand_accesses",
+        "l2_demand_misses", "prefetch_line_traffic", "demand_line_traffic",
+    )
+
+    def counters_of(result) -> dict:
+        out = {k: getattr(result.prefetch, k) for k in counter_keys}
+        out.update({k: getattr(result, k) for k in scalar_keys})
+        return out
+
+    def best_time(workload: str, cfg: SimulationConfig, engine: str, trace):
+        best, result = math.inf, None
+        for _ in range(2):  # best-of-2 absorbs one-off scheduler noise
+            t0 = time.perf_counter()
+            result = run_workload(workload, cfg, args.insts, args.seed, engine, trace=trace)
+            best = min(best, time.perf_counter() - t0)
+        return best, result
+
+    rows = []
+    speedups: dict[str, list[float]] = {e: [] for e in args.engines[1:]}
+    for workload in workloads:
+        trace = cached_trace(workload, args.insts, args.seed)
+        for filter_name in filters:
+            cfg = SimulationConfig.paper_default(FilterKind(filter_name))
+            seconds, counters, deltas = {}, {}, {}
+            for engine in args.engines:
+                seconds[engine], result = best_time(workload, cfg, engine, trace)
+                counters[engine] = counters_of(result)
+            row = {
+                "workload": workload,
+                "filter": filter_name,
+                "seconds": {e: round(s, 4) for e, s in seconds.items()},
+                "counters": counters,
+            }
+            for engine in args.engines[1:]:
+                ratio = seconds[reference] / seconds[engine] if seconds[engine] else None
+                row.setdefault("speedup_vs_" + reference, {})[engine] = (
+                    round(ratio, 2) if ratio else None
+                )
+                if ratio:
+                    speedups[engine].append(ratio)
+                deltas[engine] = {
+                    k: round(
+                        abs(counters[engine][k] - counters[reference][k])
+                        / max(1, counters[reference][k]),
+                        4,
+                    )
+                    for k in counter_keys + scalar_keys
+                }
+            if deltas:
+                row["counter_rel_delta_vs_" + reference] = deltas
+            rows.append(row)
+            cell = " ".join(
+                f"{e}={seconds[e]:.3f}s" for e in args.engines
+            )
+            print(f"{workload:10s} {filter_name:4s} {cell}")
+
+    # Trace store: cold synthesis-and-save versus warm load-from-disk.
+    store_rows = []
+    with tempfile.TemporaryDirectory() as tmp:
+        store = TraceStore(tmp)
+        for workload in workloads:
+            t0 = time.perf_counter()
+            store.get_or_build(workload, args.insts, args.seed + 1)  # unseen seed: cold
+            cold = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            store.get_or_build(workload, args.insts, args.seed + 1)
+            warm = time.perf_counter() - t0
+            store_rows.append(
+                {
+                    "workload": workload,
+                    "cold_seconds": round(cold, 4),
+                    "warm_seconds": round(warm, 4),
+                    "speedup": round(cold / warm, 1) if warm else None,
+                }
+            )
+
+    def geomean(values):
+        return round(math.exp(sum(math.log(v) for v in values) / len(values)), 2)
+
+    report = {
+        "insts_per_run": args.insts,
+        "seed": args.seed,
+        "engines": list(args.engines),
+        "reference_engine": reference,
+        "rows": rows,
+        "trace_store": store_rows,
+        "summary": {
+            engine: {
+                "geomean_speedup": geomean(values),
+                "min_speedup": round(min(values), 2),
+                "max_speedup": round(max(values), 2),
+            }
+            for engine, values in speedups.items()
+            if values
+        },
+    }
+    out = args.out or "BENCH_vector.json"
+    with open(out, "w") as fh:
+        json.dump(report, fh, indent=1)
+        fh.write("\n")
+    for engine, summary in report["summary"].items():
+        print(
+            f"{engine} vs {reference}: geomean {summary['geomean_speedup']}x "
+            f"(min {summary['min_speedup']}x, max {summary['max_speedup']}x)"
+        )
+    print(f"wrote {out}")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     import json
     import time
@@ -135,11 +277,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.analysis.parallel import SimulationJob, default_workers, run_jobs
     from repro.analysis.result_cache import ResultCache
 
+    if args.engines:
+        return _bench_engines(args)
+
+    workload = args.workload or "em3d"
     cfg = SimulationConfig.paper_default(FilterKind(args.filter)).with_warmup(args.insts // 3)
     # Distinct seeds make each run a genuinely different simulation, so the
     # cache cannot collapse the batch into one job.
     jobs = [
-        SimulationJob(args.workload, cfg, args.insts, args.seed + i, engine=args.engine)
+        SimulationJob(workload, cfg, args.insts, args.seed + i, engine=args.engine)
         for i in range(args.runs)
     ]
     workers = args.workers if args.workers > 0 else default_workers()
@@ -175,9 +321,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         cache_stats = {"hits": cache.hits, "misses": cache.misses}
 
     report = {
-        "workload": args.workload,
+        "workload": workload,
         "filter": args.filter,
-        "engine": args.engine,
+        "engine": args.engine or "pipeline",
         "runs": args.runs,
         "insts_per_run": args.insts,
         "workers": workers,
@@ -248,13 +394,21 @@ def main(argv: Sequence[str] | None = None) -> int:
     p_xp.set_defaults(func=_cmd_export)
 
     p_bn = sub.add_parser("bench", help="time serial vs parallel vs cached execution")
-    p_bn.add_argument("--workload", choices=workload_names(), default="em3d")
+    p_bn.add_argument("--workload", choices=workload_names(), default=None,
+                      help="default: em3d (pool bench) / every workload (--engines bench)")
     p_bn.add_argument("--filter", choices=[k.value for k in FilterKind], default="pa")
     p_bn.add_argument("--runs", type=int, default=5, help="distinct simulations to time")
     p_bn.add_argument("--workers", type=int, default=0, help="parallel processes (0 = one per CPU)")
     p_bn.add_argument("--no-cache", action="store_true", help="skip the disk-cache timing phases")
     p_bn.add_argument("--cache-dir", help="result-cache directory (default: REPRO_CACHE_DIR or ~/.cache/repro)")
     p_bn.add_argument("--json", action="store_true", help="emit the report as JSON")
+    p_bn.add_argument(
+        "--engines", nargs="+", choices=["pipeline", "interval", "vector"],
+        help="engine-axis bench: time each engine per (workload, filter) cell, "
+        "record speedups and counter deltas vs the first engine listed, and "
+        "time the trace store cold vs warm; writes --out (BENCH_vector.json)",
+    )
+    p_bn.add_argument("--out", help="engine-axis report path (default: BENCH_vector.json)")
     _add_common(p_bn)
     p_bn.set_defaults(func=_cmd_bench)
 

@@ -231,12 +231,20 @@ class SimulationConfig:
     #: statistics cover only the post-warmup region.  Stands in for the
     #: paper's 300M-instruction runs where cold-start effects vanish.
     warmup_instructions: int = 0
+    #: Simulation engine tier: ``"pipeline"`` (timing-accurate, default),
+    #: ``"interval"`` (closed-form timing), or ``"vector"`` (batch
+    #: functional replay — classification-accurate, no real timing; see
+    #: :mod:`repro.core.vector`).  An explicit ``engine=`` argument to
+    #: :class:`~repro.core.simulator.Simulator` overrides this field.
+    engine: str = "pipeline"
 
     def __post_init__(self) -> None:
         if self.warmup_instructions < 0:
             raise ValueError("warmup must be non-negative")
         if self.max_instructions is not None and self.max_instructions <= self.warmup_instructions:
             raise ValueError("max_instructions must exceed the warmup window")
+        if not self.engine or not isinstance(self.engine, str):
+            raise ValueError("engine must be a non-empty engine name")
 
     # ------------------------------------------------------------------
     # Paper-configuration constructors
@@ -287,6 +295,9 @@ class SimulationConfig:
 
     def with_warmup(self, instructions: int) -> "SimulationConfig":
         return replace(self, warmup_instructions=instructions)
+
+    def with_engine(self, engine: str) -> "SimulationConfig":
+        return replace(self, engine=engine)
 
     def describe(self) -> str:
         """Render the configuration as a Table 1-style text block."""

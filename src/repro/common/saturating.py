@@ -63,6 +63,15 @@ class SaturatingCounterArray:
             raise ValueError("value out of range")
         self.values.fill(value)
 
+    def predict_many(self, indices: np.ndarray) -> np.ndarray:
+        """Batch lookup: boolean array, True where the counter allows.
+
+        Lookups are state-free, so the batch result is element-for-element
+        identical to calling :meth:`predict` in a loop — the vector engine
+        uses this for whole-chunk filter decisions.
+        """
+        return self.values[np.asarray(indices, dtype=np.int64)] >= self.threshold
+
     # -- analysis helpers ------------------------------------------------
     def fraction_predicting_true(self) -> float:
         return float(np.mean(self.values >= self.threshold))

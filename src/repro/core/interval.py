@@ -124,9 +124,15 @@ def make_engine(
     classifier: PrefetchClassifier,
     stats: Optional[StatGroup] = None,
 ) -> OoOPipeline:
-    """Engine factory: ``"pipeline"`` (default) or ``"interval"``."""
+    """Engine factory: ``"pipeline"`` (default), ``"interval"`` or ``"vector"``."""
     if kind == "pipeline":
         return OoOPipeline(config, hierarchy, filter_, classifier, stats)
     if kind == "interval":
         return IntervalEngine(config, hierarchy, filter_, classifier, stats)
-    raise ValueError(f"unknown engine kind {kind!r}; choose 'pipeline' or 'interval'")
+    if kind == "vector":
+        from repro.core.vector import VectorEngine
+
+        return VectorEngine(config, hierarchy, filter_, classifier, stats)
+    raise ValueError(
+        f"unknown engine kind {kind!r}; choose 'pipeline', 'interval' or 'vector'"
+    )

@@ -109,7 +109,7 @@ class Simulator:
         self,
         config: SimulationConfig,
         filter_: Optional[PollutionFilter] = None,
-        engine: str = "pipeline",
+        engine: Optional[str] = None,
     ) -> None:
         self.config = config
         self.stats = Stats()
@@ -118,8 +118,11 @@ class Simulator:
         )
         self.filter = filter_ if filter_ is not None else build_filter(config, self.stats)
         self.classifier = PrefetchClassifier(self.stats["classifier"])
+        # An explicit engine argument wins; otherwise the config names it.
+        self.engine_name = engine if engine is not None else config.engine
         self.engine = make_engine(
-            engine, config, self.hierarchy, self.filter, self.classifier, self.stats["pipeline"]
+            self.engine_name, config, self.hierarchy, self.filter, self.classifier,
+            self.stats["pipeline"],
         )
         self.hierarchy.on_buffer_evict = self.engine._on_buffer_evict
 
@@ -203,7 +206,11 @@ def run_simulation(
     config: SimulationConfig,
     trace: Trace,
     filter_: Optional[PollutionFilter] = None,
-    engine: str = "pipeline",
+    engine: Optional[str] = None,
 ) -> SimulationResult:
-    """Build a fresh machine from ``config`` and run ``trace`` through it."""
+    """Build a fresh machine from ``config`` and run ``trace`` through it.
+
+    ``engine=None`` defers to ``config.engine`` (which defaults to the
+    timing-accurate pipeline engine).
+    """
     return Simulator(config, filter_, engine).run(trace)

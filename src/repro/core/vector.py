@@ -1,0 +1,711 @@
+"""Vectorized batch functional engine — the sweep-throughput tier.
+
+:class:`VectorEngine` replays a trace *functionally*: caches, PIB/RIB
+bookkeeping, prefetch generation, pollution filtering and good/bad
+classification are all modelled with the same update rules as the
+pipeline engine, but no cycle-level timing is simulated.  That trade
+buys an order of magnitude in throughput, which is what wide parameter
+sweeps need (the headline figures still come from the pipeline engine).
+
+How the speed is obtained
+-------------------------
+
+* **Batch decomposition.**  Non-memory instructions never enter the hot
+  loop at all: a numpy mask selects loads/stores/software prefetches,
+  and line addresses, set indices and filter-table indices are computed
+  for the whole trace in a handful of vectorised operations
+  (:mod:`repro.mem.geometry`, :func:`repro.common.hashing.table_index_array`).
+* **Compact integer state.**  Cache sets live in flat Python lists of
+  integers (tag/dirty/PIB/RIB/tag-bit/source/PC/filter-index per way)
+  instead of per-line objects; the per-access work is a couple of list
+  index operations.
+* **Immediate prefetch issue.**  Prefetches that survive the duplicate
+  squash and the filter fill the L1 at the point of generation — no
+  queue occupancy, port arbitration, MSHR tracking or bus occupancy is
+  simulated (their *traffic counters* are still maintained).
+* **Deferred statistics.**  Event counts accumulate in a plain integer
+  list and are folded into the shared :class:`~repro.common.stats.Stats`
+  tree only at the warmup boundary and at the end of the run.
+
+Fidelity contract
+-----------------
+
+The functional update order per memory access mirrors
+:meth:`repro.mem.hierarchy.MemoryHierarchy.demand_access` exactly
+(NSP-tag consume, L1 probe, L2 probe counted as a demand read, memory
+fetch, fills, eviction feedback into classifier and filter, dirty
+writebacks).  The one deliberate semantic difference is **prefetch
+issue under zero contention**: every request that survives the
+duplicate squash and the pollution filter fills the L1 at its
+generation point.  The pipeline instead holds requests in a bounded
+queue gated by L1-port idleness and an MSHR demand reserve, so under
+port saturation its prefetches issue hundreds of cycles late, overflow
+as drops, or die as late-duplicate squashes — an emergent timing
+feedback this engine intentionally does not chase.
+
+Two parity regimes follow, and ``tests/test_vector_engine.py`` pins
+both:
+
+* **Contention-free configs** (ample ports, MSHRs and queue slots,
+  unit latencies — :func:`relaxed_config` builds one): the pipeline's
+  throttles never bind, and classification counters match the pipeline
+  engine exactly or to within a few counts (residual deltas come only
+  from LRU-stamp ties: cycle timestamps there, access sequence numbers
+  here).
+* **Paper-default configs**: counters diverge where classification is
+  *timeliness*-coupled (``good``/``issued`` under port saturation);
+  demand-access counts stay exact and miss counts stay within
+  documented bounds.  ``repro-sim bench --engines`` records the
+  measured per-counter deltas alongside the speedups, so every sweep
+  that trades the pipeline for this tier knows the gap it accepted.
+
+Use the vector tier to rank filters and sweep table geometries (the
+paper's accuracy questions); use the pipeline tier for anything that
+quotes IPC, port counts or queue behaviour.  Cycle counts here are a
+crude closed-form estimate (dispatch bandwidth plus an MLP-discounted
+miss-latency sum) kept only so IPC-shaped code paths do not divide by
+zero — **never quote vector-engine IPC**.
+
+Unsupported configurations (a clear :class:`ValueError` is raised):
+the stride prefetcher and the Section 5.5 prefetch buffer, both of
+which only feature in pipeline-engine ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.hashing import table_index, table_index_array
+from repro.filters.null_filter import NullFilter
+from repro.filters.pa_filter import PAFilter
+from repro.filters.pc_filter import PCFilter
+from repro.mem.bus import TransferKind
+from repro.mem.cache import FillSource
+from repro.prefetch.base import PrefetchRequest
+from repro.core.pipeline import OoOPipeline
+from repro.trace.record import InstrClass
+from repro.trace.stream import Trace
+
+#: divisor applied to the summed miss latency in the cycle estimate —
+#: stands in for the memory-level parallelism the OoO window extracts.
+_MLP_DIVISOR = 4
+
+
+def relaxed_config(config):
+    """A contention-free twin of ``config`` for vector/pipeline parity.
+
+    Same caches, prefetchers and filter, but every throttle that delays
+    or drops a pipeline prefetch is widened until it cannot bind: unit
+    miss latencies (no stall shadows, so MSHR residency is momentary),
+    L1 ports matching the issue width (the port arbiter never backs
+    up), and MSHR/queue capacities far above any reachable occupancy.
+    Under such a machine the pipeline issues every surviving prefetch
+    promptly — the semantic the vector engine implements directly — so
+    the two engines' classification counters must agree.
+    """
+    from dataclasses import replace
+
+    h = config.hierarchy
+    return replace(
+        config,
+        hierarchy=replace(
+            h,
+            l1=replace(h.l1, latency=1, ports=config.processor.issue_width),
+            l2=replace(h.l2, latency=1),
+            memory_latency=1,
+            mshr_entries=1 << 16,
+        ),
+        prefetch=replace(config.prefetch, queue_entries=1 << 16),
+    )
+
+# Slots of the deferred-counter list ``K`` (folded into the stats tree
+# by ``fold`` below; one integer add per event on the hot path).
+(
+    _RH, _RM, _WH, _WM, _FU, _DUP1, _EV, _EVU, _EVN, _PF1, _DF1,
+    _L2RH, _L2RM, _L2DUP, _L2EV, _L2DF,
+    _B1D, _B1P, _B1W, _BMD, _BMP, _BMW,
+    _NSPM, _NSPT, _SDPI, _SDPS, _SDPL, _SDPC, _SWX,
+    _FA, _FR, _FBG, _FBB, _TLG, _TLB, _TTG, _TTB,
+) = range(37)
+_NK = 37
+
+# PrefetchTally field order used by the per-source rows of ``T``.
+_GEN, _SQ, _FLT, _DRP, _ISS, _GOOD, _BAD = range(7)
+
+
+class VectorEngine(OoOPipeline):
+    """Classification-accurate batch engine (no cycle-level timing)."""
+
+    def _check_supported(self) -> None:
+        if self.stride is not None:
+            raise ValueError(
+                "the vector engine does not model the stride/extension "
+                "prefetcher; run stride configurations on the pipeline engine"
+            )
+        if self.hierarchy.buffer is not None:
+            raise ValueError(
+                "the vector engine does not model the prefetch buffer "
+                "(Section 5.5); run buffer configurations on the pipeline engine"
+            )
+
+    # The method is one long closure nest on purpose: every piece of
+    # mutable state and every counter is a local (or cell) variable of
+    # run(), which is what makes the per-access cost a few list ops.
+    def run(self, trace: Trace) -> int:  # noqa: C901 - deliberate hot loop
+        self._check_supported()
+        cfg = self.config
+        n = len(trace)
+        limit = cfg.max_instructions
+        if limit is not None:
+            n = min(n, limit)
+
+        l1cfg = cfg.hierarchy.l1
+        l2cfg = cfg.hierarchy.l2
+        offset_bits = l1cfg.offset_bits
+        l1_mask = l1cfg.num_sets - 1
+        l2_mask = l2cfg.num_sets - 1
+        W1 = l1cfg.ways
+        W2 = l2cfg.ways
+        dm = W1 == 1  # direct-mapped L1 fast paths (all paper configs)
+        wb_cfg = l1cfg.writeback
+        nsp_on = self.nsp is not None
+        sdp_on = self.sdp is not None
+        sw_on = self.sw_unit is not None
+        degree = cfg.prefetch.degree
+        tag_fills_i = 1 if self._tag_fills else 0
+
+        # ---- batch precompute (the vectorised part) ----------------------
+        iclass = trace.iclass[:n]
+        LOAD = int(InstrClass.LOAD)
+        STORE = int(InstrClass.STORE)
+        SW_PF = int(InstrClass.SW_PREFETCH)
+        mask = (iclass == LOAD) | (iclass == STORE)
+        if sw_on:
+            mask |= iclass == SW_PF
+        midx = np.nonzero(mask)[0]
+        n_mem = len(midx)
+        pcs = trace.pc[:n][mask]
+        lines_arr = trace.addr[:n][mask] >> np.uint64(offset_bits)
+        mcls = iclass[mask].tolist()
+        mpc = pcs.tolist()
+        mline = lines_arr.tolist()
+
+        # Filter fast paths: exact NullFilter/PAFilter/PCFilter instances
+        # run inline on a plain-list copy of the 2-bit counter table;
+        # anything else (adaptive, static, oracle, user subclasses) goes
+        # through the real object, request by request.
+        filt = self.filter
+        ftype = type(filt)
+        is_null = ftype is NullFilter
+        is_pa = ftype is PAFilter
+        is_pc = ftype is PCFilter
+        is_table = is_pa or is_pc
+        tvals: list = []
+        thresh = maxv = 0
+        E = SCH = None
+        if is_table:
+            table = filt.table
+            E = table.entries
+            SCH = table.hash_scheme
+            thresh = table.counters.threshold
+            maxv = table.counters.max_value
+            tvals = table.counters.values.tolist()
+
+        # Per-memory-op filter-table index columns, so the hot loop never
+        # hashes: the PA scheme keys on the prefetched line address, the
+        # PC scheme on the trigger PC (one index serves every request the
+        # instruction generates).
+        zeros = [0] * n_mem
+        selffid = zeros
+        nspfid: list = [zeros] * degree
+        if is_pa:
+            if nsp_on:
+                nspfid = [
+                    table_index_array(lines_arr + np.uint64(d), E, SCH).tolist()
+                    for d in range(1, degree + 1)
+                ]
+            if sw_on:
+                selffid = table_index_array(lines_arr, E, SCH).tolist()
+        elif is_pc:
+            pcf = table_index_array(pcs, E, SCH).tolist()
+            selffid = pcf
+            nspfid = [pcf] * degree
+
+        # ---- compact cache state -----------------------------------------
+        n1 = l1cfg.num_sets * W1
+        l1_tag = [-1] * n1
+        l1_dirty = [0] * n1
+        l1_pib = [0] * n1
+        l1_rib = [0] * n1
+        l1_nsp = [0] * n1
+        l1_src = [0] * n1
+        l1_tpc = [0] * n1
+        l1_fid = [0] * n1
+        l1_stamp = [0] * n1
+        n2 = l2cfg.num_sets * W2
+        l2_tag = [-1] * n2
+        l2_dirty = [0] * n2
+        l2_stamp = [0] * n2
+
+        # SDP shadow directory, inlined as plain dicts (entry = [shadow,
+        # confirmed]); counter semantics mirror ShadowDirectoryPrefetcher.
+        sdp_dir: dict = {}
+        sdp_await: dict = {}
+        sdp_last = -1
+
+        K = [0] * _NK
+        T = [[0] * 7 for _ in range(5)]  # per-FillSource lifecycle rows
+        cum = [0, 0]  # cumulative (L1 demand misses, memory fetches)
+
+        hierarchy = self.hierarchy
+        classifier = self.classifier
+        filt_should = filt.should_prefetch
+        filt_feedback = filt.on_feedback_ex
+
+        # ---- nested update helpers (cold-ish paths) ----------------------
+        def feedback(vline: int, vtpc: int, vrib: int, vsrc: int, vfid: int) -> None:
+            """Evicted-PIB-line feedback into the pollution filter."""
+            if is_table:
+                v = tvals[vfid]
+                if vrib:
+                    K[_FBG] += 1
+                    K[_TTG] += 1
+                    if v < maxv:
+                        tvals[vfid] = v + 1
+                else:
+                    K[_FBB] += 1
+                    K[_TTB] += 1
+                    if v > 0:
+                        tvals[vfid] = v - 1
+            elif is_null:
+                if vrib:
+                    K[_FBG] += 1
+                else:
+                    K[_FBB] += 1
+            else:
+                filt_feedback(vline, vtpc, bool(vrib), FillSource(vsrc))
+
+        def confirm(cline: int) -> None:
+            """SDP confirmation: a prefetched line saw its first use."""
+            parent = sdp_await.pop(cline, None)
+            if parent is None:
+                return
+            e = sdp_dir.get(parent)
+            if e is not None and e[0] == cline:
+                e[1] = True
+                K[_SDPC] += 1
+
+        def l2_fetch(pline: int, is_pf: bool, tick: int) -> bool:
+            """L2 probe (counted as a demand read) + memory fetch on miss."""
+            b = (pline & l2_mask) * W2
+            inv = -1
+            for w in range(b, b + W2):
+                t = l2_tag[w]
+                if t == pline:
+                    K[_L2RH] += 1
+                    l2_stamp[w] = tick
+                    return True
+                if inv < 0 and t == -1:
+                    inv = w
+            K[_L2RM] += 1
+            if is_pf:
+                K[_BMP] += 1
+            else:
+                K[_BMD] += 1
+            if inv >= 0:
+                vw = inv
+            else:
+                vw = b
+                best = l2_stamp[b]
+                for w in range(b + 1, b + W2):
+                    s = l2_stamp[w]
+                    if s < best:
+                        best = s
+                        vw = w
+                K[_L2EV] += 1
+                if l2_dirty[vw]:
+                    K[_BMW] += 1
+                if sdp_on:
+                    sdp_dir.pop(l2_tag[vw], None)
+            l2_tag[vw] = pline
+            l2_dirty[vw] = 0
+            l2_stamp[vw] = tick
+            K[_L2DF] += 1
+            return False
+
+        def l2_writeback(vline: int, tick: int) -> None:
+            """Dirty L1 victim lands in the L2 (write-back, write-allocate)."""
+            K[_B1W] += 1
+            b = (vline & l2_mask) * W2
+            inv = -1
+            for w in range(b, b + W2):
+                t = l2_tag[w]
+                if t == vline:
+                    l2_stamp[w] = tick
+                    l2_dirty[w] = 1
+                    K[_L2DUP] += 1
+                    return
+                if inv < 0 and t == -1:
+                    inv = w
+            if inv >= 0:
+                vw = inv
+            else:
+                vw = b
+                best = l2_stamp[b]
+                for w in range(b + 1, b + W2):
+                    s = l2_stamp[w]
+                    if s < best:
+                        best = s
+                        vw = w
+                K[_L2EV] += 1
+                if l2_dirty[vw]:
+                    K[_BMW] += 1
+                if sdp_on:
+                    sdp_dir.pop(l2_tag[vw], None)
+            l2_tag[vw] = vline
+            l2_dirty[vw] = 1
+            l2_stamp[vw] = tick
+            K[_L2DF] += 1
+
+        def l1_fill_dm(
+            fline: int, fpib: int, fsrc: int, ftpc: int, ffid: int,
+            fnsp: int, fdirty: int, tick: int,
+        ) -> None:
+            """Direct-mapped L1 fill fast path (every paper config).
+
+            Callers only fill lines they just proved absent, so the
+            duplicate-fill branch of Cache.fill cannot trigger and is
+            elided here (the generic variant keeps it).
+            """
+            vw = fline & l1_mask
+            vtag = l1_tag[vw]
+            vdirty = 0
+            if vtag != -1:
+                K[_EV] += 1
+                vdirty = l1_dirty[vw]
+                if l1_pib[vw]:
+                    vrib = l1_rib[vw]
+                    row = T[l1_src[vw]]
+                    if vrib:
+                        K[_EVU] += 1
+                        row[_GOOD] += 1
+                    else:
+                        K[_EVN] += 1
+                        row[_BAD] += 1
+                    feedback(vtag, l1_tpc[vw], vrib, l1_src[vw], l1_fid[vw])
+            l1_tag[vw] = fline
+            l1_dirty[vw] = fdirty
+            l1_pib[vw] = fpib
+            l1_rib[vw] = 0
+            l1_nsp[vw] = fnsp
+            l1_src[vw] = fsrc
+            l1_tpc[vw] = ftpc
+            l1_fid[vw] = ffid
+            if fpib:
+                K[_PF1] += 1
+            else:
+                K[_DF1] += 1
+            if vdirty:
+                l2_writeback(vtag, tick)
+
+        def l1_fill_assoc(
+            fline: int, fpib: int, fsrc: int, ftpc: int, ffid: int,
+            fnsp: int, fdirty: int, tick: int,
+        ) -> None:
+            """L1 fill with eviction feedback, mirroring Cache.fill order:
+            victim feedback fires before the new line is written, the dirty
+            writeback after."""
+            b = (fline & l1_mask) * W1
+            inv = -1
+            for w in range(b, b + W1):
+                t = l1_tag[w]
+                if t == fline:
+                    l1_stamp[w] = tick
+                    if fdirty:
+                        l1_dirty[w] = 1
+                    K[_DUP1] += 1
+                    return
+                if inv < 0 and t == -1:
+                    inv = w
+            vdirty = 0
+            vtag = -1
+            if inv >= 0:
+                vw = inv
+            else:
+                vw = b
+                best = l1_stamp[b]
+                for w in range(b + 1, b + W1):
+                    s = l1_stamp[w]
+                    if s < best:
+                        best = s
+                        vw = w
+                K[_EV] += 1
+                vtag = l1_tag[vw]
+                vdirty = l1_dirty[vw]
+                if l1_pib[vw]:
+                    vrib = l1_rib[vw]
+                    row = T[l1_src[vw]]
+                    if vrib:
+                        K[_EVU] += 1
+                        row[_GOOD] += 1
+                    else:
+                        K[_EVN] += 1
+                        row[_BAD] += 1
+                    feedback(vtag, l1_tpc[vw], vrib, l1_src[vw], l1_fid[vw])
+            l1_tag[vw] = fline
+            l1_dirty[vw] = fdirty
+            l1_pib[vw] = fpib
+            l1_rib[vw] = 0
+            l1_nsp[vw] = fnsp
+            l1_src[vw] = fsrc
+            l1_tpc[vw] = ftpc
+            l1_fid[vw] = ffid
+            l1_stamp[vw] = tick
+            if fpib:
+                K[_PF1] += 1
+            else:
+                K[_DF1] += 1
+            if vdirty:
+                l2_writeback(vtag, tick)
+
+        l1_fill = l1_fill_dm if W1 == 1 else l1_fill_assoc
+
+        # Zero-contention issue: every request that survives the duplicate
+        # squash and the pollution filter fills the L1 at its generation
+        # point.  The pipeline's queue/port/MSHR contention (which delays
+        # and drops prefetches) is deliberately *not* modelled — see the
+        # module docstring for the fidelity contract this buys and costs.
+        def route(rline: int, rpc: int, rsrc: int, rfid: int, tick: int) -> None:
+            """Generated -> duplicate squash -> filter -> immediate issue."""
+            row = T[rsrc]
+            row[_GEN] += 1
+            if dm:
+                if l1_tag[rline & l1_mask] == rline:
+                    row[_SQ] += 1
+                    return
+            else:
+                b = (rline & l1_mask) * W1
+                for w in range(b, b + W1):
+                    if l1_tag[w] == rline:
+                        row[_SQ] += 1
+                        return
+            if is_table:
+                if tvals[rfid] >= thresh:
+                    K[_TLG] += 1
+                    K[_FA] += 1
+                else:
+                    K[_TLB] += 1
+                    K[_FR] += 1
+                    row[_FLT] += 1
+                    return
+            elif is_null:
+                K[_FA] += 1
+            elif not filt_should(PrefetchRequest(rline, rpc, FillSource(rsrc))):
+                row[_FLT] += 1
+                return
+            row[_ISS] += 1
+            l2_fetch(rline, True, tick)
+            K[_B1P] += 1
+            l1_fill(rline, 1, rsrc, rpc, rfid, tag_fills_i, 0, tick)
+
+        # ---- hot loop -----------------------------------------------------
+        def simulate(start: int, stop: int) -> None:
+            nonlocal sdp_last
+            mcls_ = mcls
+            mpc_ = mpc
+            mline_ = mline
+            ltag = l1_tag
+            ldirty = l1_dirty
+            lpib = l1_pib
+            lrib = l1_rib
+            lnsp = l1_nsp
+            lstamp = l1_stamp
+            K_ = K
+            nspfid_ = nspfid
+            selffid_ = selffid
+            dm_ = dm
+            for i in range(start, stop):
+                cls = mcls_[i]
+                line = mline_[i]
+                if cls == SW_PF:
+                    K_[_SWX] += 1
+                    route(line, mpc_[i], 3, selffid_[i], i)
+                    continue
+                is_write = cls == STORE
+                if dm_:
+                    hw = line & l1_mask
+                    if ltag[hw] != line:
+                        hw = -1
+                else:
+                    b = (line & l1_mask) * W1
+                    hw = -1
+                    for w in range(b, b + W1):
+                        if ltag[w] == line:
+                            hw = w
+                            break
+                if hw >= 0:
+                    tag_hit = False
+                    if nsp_on and lnsp[hw]:
+                        lnsp[hw] = 0
+                        tag_hit = True
+                    if is_write:
+                        K_[_WH] += 1
+                        ldirty[hw] = 1
+                    else:
+                        K_[_RH] += 1
+                    if lpib[hw] and not lrib[hw]:
+                        lrib[hw] = 1
+                        K_[_FU] += 1
+                        if sdp_on:
+                            confirm(line)
+                    lstamp[hw] = i
+                    if tag_hit:
+                        K_[_NSPT] += 1
+                        pc = mpc_[i]
+                        for d in range(1, degree + 1):
+                            route(line + d, pc, 1, nspfid_[d - 1][i], i)
+                else:
+                    if is_write:
+                        K_[_WM] += 1
+                    else:
+                        K_[_RM] += 1
+                    l2_fetch(line, False, i)
+                    K_[_B1D] += 1
+                    l1_fill(
+                        line, 0, 0, 0, 0, 0,
+                        1 if (is_write and wb_cfg) else 0, i,
+                    )
+                    pc = mpc_[i]
+                    if nsp_on:
+                        K_[_NSPM] += 1
+                        for d in range(1, degree + 1):
+                            route(line + d, pc, 1, nspfid_[d - 1][i], i)
+                    if sdp_on:
+                        e = sdp_dir.get(line)
+                        if e is not None and e[0] != line:
+                            if e[1]:
+                                e[1] = False
+                                shadow = e[0]
+                                sdp_await[shadow] = line
+                                K_[_SDPI] += 1
+                                route(
+                                    shadow, pc, 2,
+                                    table_index(shadow, E, SCH) if is_pa else selffid_[i],
+                                    i,
+                                )
+                            else:
+                                K_[_SDPS] += 1
+                        prev = sdp_last
+                        if prev != -1 and prev != line:
+                            old = sdp_dir.get(prev)
+                            if old is None or old[0] != line:
+                                sdp_dir[prev] = [line, True]
+                                K_[_SDPL] += 1
+                        sdp_last = line
+
+        # ---- deferred-statistics fold ------------------------------------
+        def fold() -> None:
+            l1 = hierarchy.l1
+            l1._n_read_hit += K[_RH]
+            l1._n_read_miss += K[_RM]
+            l1._n_write_hit += K[_WH]
+            l1._n_write_miss += K[_WM]
+            l1._n_first_use += K[_FU]
+            l1._n_duplicate_fill += K[_DUP1]
+            l1._n_evictions += K[_EV]
+            l1._n_evicted_used += K[_EVU]
+            l1._n_evicted_unused += K[_EVN]
+            l1._n_prefetch_fill += K[_PF1]
+            l1._n_demand_fill += K[_DF1]
+            l2 = hierarchy.l2
+            l2._n_read_hit += K[_L2RH]
+            l2._n_read_miss += K[_L2RM]
+            l2._n_duplicate_fill += K[_L2DUP]
+            l2._n_evictions += K[_L2EV]
+            l2._n_demand_fill += K[_L2DF]
+            b1 = hierarchy.l1_bus._n_kind
+            b1[TransferKind.DEMAND_FILL] += K[_B1D]
+            b1[TransferKind.PREFETCH_FILL] += K[_B1P]
+            b1[TransferKind.WRITEBACK] += K[_B1W]
+            bm = hierarchy.mem_bus._n_kind
+            bm[TransferKind.DEMAND_FILL] += K[_BMD]
+            bm[TransferKind.PREFETCH_FILL] += K[_BMP]
+            bm[TransferKind.WRITEBACK] += K[_BMW]
+            if nsp_on:
+                self.nsp._n_trigger_miss += K[_NSPM]
+                self.nsp._n_trigger_tag += K[_NSPT]
+            if sdp_on:
+                self.sdp._n_issued += K[_SDPI]
+                self.sdp._n_suppressed += K[_SDPS]
+                self.sdp._n_learned += K[_SDPL]
+                self.sdp._n_confirmed += K[_SDPC]
+            if sw_on:
+                self.sw_unit._n_executed += K[_SWX]
+            filt._n_allowed += K[_FA]
+            filt._n_rejected += K[_FR]
+            filt._n_fb_good += K[_FBG]
+            filt._n_fb_bad += K[_FBB]
+            if is_table:
+                table = filt.table
+                table._n_lookup_good += K[_TLG]
+                table._n_lookup_bad += K[_TLB]
+                table._n_train_good += K[_TTG]
+                table._n_train_bad += K[_TTB]
+                table.counters.values[:] = tvals
+            for src in (1, 2, 3, 4):
+                row = T[src]
+                if any(row):
+                    tally = classifier.per_source[FillSource(src)]
+                    tally.generated += row[_GEN]
+                    tally.squashed += row[_SQ]
+                    tally.filtered += row[_FLT]
+                    tally.dropped += row[_DRP]
+                    tally.issued += row[_ISS]
+                    tally.good += row[_GOOD]
+                    tally.bad += row[_BAD]
+                    for j in range(7):
+                        row[j] = 0
+            cum[0] += K[_RM] + K[_WM]
+            cum[1] += K[_BMD] + K[_BMP]
+            for j in range(_NK):
+                K[j] = 0
+
+        def estimate(n_insts: int) -> int:
+            """Crude monotone cycle stand-in (dispatch + MLP-divided misses).
+
+            Good enough to keep IPC-shaped code from dividing by zero;
+            not a timing model — see the module docstring.
+            """
+            l2_lat = cfg.hierarchy.l2.latency
+            mem_lat = cfg.hierarchy.memory_latency
+            stall = cum[0] * l2_lat + cum[1] * mem_lat
+            return max(1, n_insts // cfg.processor.issue_width + stall // _MLP_DIVISOR)
+
+        # ---- drive the spans ---------------------------------------------
+        warmup = min(cfg.warmup_instructions, n)
+        if warmup and warmup < n and self.on_warmup is not None:
+            split = int(np.searchsorted(midx, warmup))
+            simulate(0, split)
+            fold()
+            self.on_warmup(estimate(warmup))
+            simulate(split, n_mem)
+        else:
+            simulate(0, n_mem)
+
+        # Final flush: classify still-resident prefetched lines exactly the
+        # way Cache.flush does — feedback fires, eviction counters do not.
+        for w in range(n1):
+            if l1_tag[w] != -1 and l1_pib[w]:
+                vrib = l1_rib[w]
+                row = T[l1_src[w]]
+                if vrib:
+                    row[_GOOD] += 1
+                else:
+                    row[_BAD] += 1
+                feedback(l1_tag[w], l1_tpc[w], vrib, l1_src[w], l1_fid[w])
+        fold()
+
+        cycles = estimate(n)
+        self.stats.set("instructions", n)
+        self.stats.set("cycles", cycles)
+        return cycles

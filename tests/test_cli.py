@@ -30,6 +30,28 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "pa" in out and "pc" in out and "none" in out
 
+    def test_run_with_vector_engine(self, capsys):
+        assert main(["run", "--workload", "fpppp", "--engine", "vector", "--insts", "4000"]) == 0
+        assert "IPC" in capsys.readouterr().out
+
+    def test_bench_engines_writes_report(self, capsys, tmp_path):
+        out = tmp_path / "bench.json"
+        assert main([
+            "bench", "--engines", "pipeline", "vector",
+            "--workload", "fpppp", "--insts", "4000", "--out", str(out),
+        ]) == 0
+        import json
+
+        report = json.loads(out.read_text())
+        assert report["reference_engine"] == "pipeline"
+        assert len(report["rows"]) == 3  # one workload x three filters
+        assert report["trace_store"][0]["cold_seconds"] > 0
+        assert "vector" in report["summary"]
+
+    def test_bench_rejects_unknown_engine(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "--engines", "warp-drive", "--insts", "1000"])
+
     def test_rejects_unknown_workload(self):
         with pytest.raises(SystemExit):
             main(["run", "--workload", "doom", "--insts", "1000"])

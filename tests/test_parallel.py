@@ -1,5 +1,7 @@
 """Parallel run engine: determinism, equivalence with serial, fallback."""
 
+import os
+
 import pytest
 
 import repro.analysis.parallel as parallel_mod
@@ -95,9 +97,50 @@ class TestRunJobs:
 
     def test_default_workers_env_override(self, monkeypatch):
         monkeypatch.setenv("REPRO_WORKERS", "3")
-        assert default_workers() == 3
+        assert default_workers() == min(3, os.cpu_count() or 1)
         monkeypatch.setenv("REPRO_WORKERS", "not-a-number")
-        assert default_workers() >= 1
+        assert default_workers() == (os.cpu_count() or 1)
+
+    def test_default_workers_rejects_nonpositive(self, monkeypatch):
+        for bad in ("0", "-2"):
+            monkeypatch.setenv("REPRO_WORKERS", bad)
+            with pytest.raises(ValueError, match="positive"):
+                default_workers()
+
+    def test_run_jobs_rejects_nonpositive_workers(self):
+        job = SimulationJob("gzip", _cfg(), n_insts=N, seed=0)
+        with pytest.raises(ValueError, match="positive"):
+            run_jobs([job], workers=0)
+        with pytest.raises(ValueError, match="positive"):
+            run_jobs([job], workers=-1)
+
+    def test_run_jobs_clamps_workers_to_cpu_count(self, monkeypatch):
+        """An oversized explicit count must not spawn beyond the CPUs."""
+        seen = {}
+        real_pool = parallel_mod.ProcessPoolExecutor
+
+        class SpyPool(real_pool):
+            def __init__(self, max_workers=None, **kwargs):
+                seen["max_workers"] = max_workers
+                super().__init__(max_workers=max_workers, **kwargs)
+
+        monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", SpyPool)
+        jobs = [SimulationJob("gzip", _cfg(), n_insts=N, seed=s) for s in range(3)]
+        run_jobs(jobs, workers=512)
+        if "max_workers" in seen:  # pool path reached (more than one CPU)
+            assert seen["max_workers"] <= (os.cpu_count() or 1)
+
+    def test_nested_run_jobs_stays_serial(self, monkeypatch):
+        """Inside a pool worker, run_jobs must not fork another pool."""
+        monkeypatch.setenv("REPRO_POOL_WORKER", "1")
+
+        def boom(*a, **k):  # pragma: no cover - must never run
+            raise AssertionError("nested run_jobs created a process pool")
+
+        monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", boom)
+        jobs = [SimulationJob("gzip", _cfg(), n_insts=N, seed=s) for s in range(3)]
+        results = run_jobs(jobs, workers=4)
+        assert all(r is not None for r in results)
 
 
 class TestSuiteCaching:

@@ -1,0 +1,227 @@
+"""Trace store: on-disk round-trips, shared-memory handoff, run_jobs wiring."""
+
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+import repro.analysis.parallel as parallel_mod
+from repro.analysis.parallel import SimulationJob, run_jobs
+from repro.common.config import FilterKind, SimulationConfig
+from repro.trace.store import (
+    SharedTrace,
+    TraceStore,
+    attach_trace,
+    share_trace,
+    trace_key,
+)
+from repro.workloads import build_trace
+
+N = 8_000
+
+
+def _trace(workload="em3d", n=N, seed=0):
+    return build_trace(workload, n, seed)
+
+
+def _same_trace(a, b):
+    return (
+        a.name == b.name
+        and np.array_equal(a.iclass, b.iclass)
+        and np.array_equal(a.pc, b.pc)
+        and np.array_equal(a.addr, b.addr)
+        and np.array_equal(a.taken, b.taken)
+    )
+
+
+class TestTraceKey:
+    def test_stable(self):
+        assert trace_key("em3d", N, 0) == trace_key("em3d", N, 0)
+
+    def test_sensitive_to_every_input(self):
+        base = trace_key("em3d", N, 0)
+        variants = {
+            trace_key("mcf", N, 0),
+            trace_key("em3d", N + 1, 0),
+            trace_key("em3d", N, 1),
+            trace_key("em3d", N, 0, software_prefetch=False),
+            trace_key("em3d", N, 0, lookahead_lines=8),
+            trace_key("em3d", N, 0, version="999"),
+        }
+        assert base not in variants and len(variants) == 6
+
+
+class TestTraceStore:
+    def test_round_trip(self, tmp_path):
+        store = TraceStore(tmp_path)
+        trace = _trace()
+        key = trace_key("em3d", N, 0)
+        assert store.get(key) is None
+        store.put(key, trace)
+        loaded = store.get(key)
+        assert loaded is not None and _same_trace(trace, loaded)
+        assert len(store) == 1
+
+    def test_get_or_build_hits_second_time(self, tmp_path):
+        store = TraceStore(tmp_path)
+        first = store.get_or_build("mcf", N, 0)
+        assert (store.hits, store.misses) == (0, 1)
+        second = store.get_or_build("mcf", N, 0)
+        assert (store.hits, store.misses) == (1, 1)
+        assert _same_trace(first, second)
+
+    def test_built_trace_simulates_identically(self, tmp_path):
+        """A store round-trip must not perturb simulation results."""
+        from repro.analysis.sweep import run_workload
+
+        store = TraceStore(tmp_path)
+        cfg = SimulationConfig.paper_default(FilterKind.PA)
+        direct = run_workload("gzip", cfg, N, 0)
+        via_store = run_workload("gzip", cfg, N, 0, trace=store.get_or_build("gzip", N, 0))
+        assert direct.cycles == via_store.cycles
+        assert direct.prefetch == via_store.prefetch
+
+    def test_corrupt_file_is_a_miss_and_removed(self, tmp_path):
+        store = TraceStore(tmp_path)
+        key = trace_key("em3d", N, 0)
+        store.put(key, _trace())
+        path = store._path(key)
+        path.write_bytes(b"not an npz archive")
+        assert store.get(key) is None
+        assert not path.exists()
+
+    def test_clear(self, tmp_path):
+        store = TraceStore(tmp_path)
+        store.put(trace_key("em3d", N, 0), _trace())
+        store.put(trace_key("mcf", N, 0), _trace("mcf"))
+        assert store.clear() == 2
+        assert len(store) == 0
+
+    def test_respects_cache_dir_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        store = TraceStore()
+        assert str(store.directory).startswith(str(tmp_path))
+
+
+def _child_checks_shared_trace(handle, expected_pc_sum, queue):
+    try:
+        attachment = attach_trace(handle)
+        trace = attachment.trace
+        ok = int(trace.pc.sum()) == expected_pc_sum and len(trace) == handle.length
+        trace = None  # drop buffer views before detaching
+        attachment.detach()
+        queue.put(ok)
+    except Exception as exc:  # pragma: no cover - surfaced in the assert
+        queue.put(repr(exc))
+
+
+class TestSharedMemory:
+    def test_same_process_round_trip(self):
+        trace = _trace()
+        shared = share_trace(trace)
+        try:
+            attachment = attach_trace(shared.handle)
+            try:
+                assert _same_trace(trace, attachment.trace)
+                assert attachment.trace.pc.base is not None  # a view, not a copy
+            finally:
+                attachment.detach()
+        finally:
+            shared.close()
+
+    def test_cross_process_round_trip(self):
+        trace = _trace()
+        with share_trace(trace) as shared:
+            queue = multiprocessing.Queue()
+            child = multiprocessing.Process(
+                target=_child_checks_shared_trace,
+                args=(shared.handle, int(trace.pc.sum()), queue),
+            )
+            child.start()
+            verdict = queue.get(timeout=60)
+            child.join(timeout=60)
+            assert child.exitcode == 0
+            assert verdict is True
+
+    def test_close_unlinks_segment(self):
+        from multiprocessing import shared_memory
+
+        shared = share_trace(_trace(n=500))
+        name = shared.handle.shm_name
+        shared.close()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_close_is_idempotent(self):
+        shared = share_trace(_trace(n=500))
+        shared.close()
+        shared.close()  # second close must be a no-op, not an error
+
+    def test_detach_tolerates_live_views(self):
+        """Detaching while a caller still holds column views must not
+        raise; a second detach after the views die closes the mapping."""
+        shared = share_trace(_trace(n=500))
+        attachment = attach_trace(shared.handle)
+        leaked = attachment.trace.pc  # keep a view alive across detach
+        attachment.detach()  # must not raise; mapping stays pinned
+        assert attachment._shm is not None
+        del leaked
+        attachment.detach()  # views gone: now the unmap succeeds
+        assert attachment._shm is None
+        shared.close()
+
+    def test_attachment_context_manager(self):
+        trace = _trace(n=500)
+        with share_trace(trace) as shared:
+            with attach_trace(shared.handle) as mapped:
+                assert _same_trace(trace, mapped)
+                mapped = None  # drop the views before __exit__ unmaps
+
+
+class TestRunJobsIntegration:
+    def _jobs(self):
+        cfg = SimulationConfig.paper_default(FilterKind.PA).with_warmup(N // 4)
+        return [SimulationJob("em3d", cfg, N, s) for s in range(2)]
+
+    def test_run_jobs_with_trace_store(self, tmp_path):
+        store = TraceStore(tmp_path)
+        results = run_jobs(self._jobs(), workers=1, trace_store=store)
+        assert all(r.cycles > 0 for r in results)
+        assert len(store) == 2  # one stored trace per distinct seed
+        again = run_jobs(self._jobs(), workers=1, trace_store=store)
+        assert [r.cycles for r in again] == [r.cycles for r in results]
+        assert store.hits >= 2
+
+    def test_share_pending_traces_shares_each_trace_once(self):
+        jobs = self._jobs() + self._jobs()  # duplicated params
+        pending = list(enumerate(jobs))
+        shared = parallel_mod._share_pending_traces(pending, None)
+        try:
+            assert len(shared) == 2  # deduplicated by trace params
+            for entry in shared.values():
+                assert isinstance(entry, SharedTrace)
+        finally:
+            for entry in shared.values():
+                entry.close()
+
+    def test_share_pending_traces_degrades_on_oserror(self, monkeypatch):
+        monkeypatch.setattr(
+            parallel_mod, "share_trace", lambda trace: (_ for _ in ()).throw(OSError("shm full"))
+        )
+        shared = parallel_mod._share_pending_traces(list(enumerate(self._jobs())), None)
+        assert shared == {}  # best-effort: empty dict, no exception
+
+    def test_parallel_results_match_serial_with_sharing(self):
+        jobs = self._jobs()
+        serial = run_jobs(jobs, workers=1)
+        parallel = run_jobs(jobs, workers=2, share_traces=True)
+        for a, b in zip(serial, parallel):
+            assert (a.cycles, a.prefetch) == (b.cycles, b.prefetch)
+
+    def test_no_segments_leak_after_run_jobs(self):
+        run_jobs(self._jobs(), workers=2, share_traces=True)
+        # /dev/shm should hold no segments created by this process.
+        if os.path.isdir("/dev/shm"):
+            mine = [p for p in os.listdir("/dev/shm") if p.startswith("psm_")]
+            assert mine == []
