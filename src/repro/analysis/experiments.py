@@ -19,9 +19,11 @@ import argparse
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis.checkpoint import RunJournal
 from repro.analysis.figures import grouped_bars, series_lines, sparkline
 from repro.analysis.metrics import arithmetic_mean, percent_change, reduction_percent
 from repro.analysis.parallel import SimulationJob, default_workers, run_jobs
+from repro.analysis.resilience import RetryPolicy
 from repro.analysis.report import Table
 from repro.analysis.result_cache import ResultCache
 from repro.common.config import FilterKind, SimulationConfig
@@ -67,12 +69,19 @@ class ExperimentSuite:
         workers: int = 1,
         cache: Optional[ResultCache] = None,
         engine: Optional[str] = None,
+        policy: Optional[RetryPolicy] = None,
+        journal: Optional[RunJournal] = None,
     ) -> None:
         self.n_insts = n_insts
         self.warmup = warmup if warmup is not None else int(n_insts * 0.4)
         self.seed = seed
         self.workers = workers
         self.cache = cache
+        #: resilience knobs, threaded into every ``run_jobs`` batch: the
+        #: retry/timeout policy and the crash-consistent run journal a
+        #: killed suite resumes from (see repro.analysis.resilience).
+        self.policy = policy
+        self.journal = journal
         #: engine tier for every run in the suite; ``None`` defers to each
         #: config.  The vector tier suits classification-level experiments
         #: (filter comparisons, table sweeps); keep IPC/port/buffer figures
@@ -109,7 +118,14 @@ class ExperimentSuite:
                 fresh.append(job)
         if not fresh:
             return
-        for job, result in zip(fresh, run_jobs(fresh, workers=self.workers, cache=self.cache)):
+        results = run_jobs(
+            fresh,
+            workers=self.workers,
+            cache=self.cache,
+            policy=self.policy,
+            journal=self.journal,
+        )
+        for job, result in zip(fresh, results):
             self._runs[job.key()] = result
 
     def run(self, workload: str, config: SimulationConfig, software_prefetch: bool = True) -> SimulationResult:

@@ -17,6 +17,15 @@ Design points:
   a pool worker already (nested fan-out would oversubscribe the machine
   quadratically) all degrade to plain in-process execution with identical
   results.
+* **Fault tolerance** — execution is delegated to
+  :func:`repro.analysis.resilience.execute_batch`: a worker exception or
+  a broken/hung pool fails only the job concerned (retried under a
+  :class:`~repro.analysis.resilience.RetryPolicy`), surviving results
+  are kept, and with a :class:`~repro.analysis.checkpoint.RunJournal`
+  attached a killed batch resumes where it died.  ``run_jobs`` raises
+  :class:`~repro.analysis.resilience.JobsFailedError` (carrying the full
+  per-job report) only after the rest of the batch has completed and
+  been persisted.
 * **Bounded fan-out** — worker counts above ``os.cpu_count()`` are
   clamped (extra processes only add memory pressure and context
   switches), and nonpositive requests are rejected loudly rather than
@@ -36,10 +45,17 @@ Design points:
 from __future__ import annotations
 
 import os
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis.checkpoint import RunJournal
+from repro.analysis.resilience import (
+    BatchReport,
+    JobsFailedError,
+    RetryPolicy,
+    execute_batch,
+)
 from repro.analysis.result_cache import ResultCache, run_key
 from repro.common.config import SimulationConfig
 from repro.core.simulator import SimulationResult
@@ -159,24 +175,6 @@ def _mark_pool_worker() -> None:
     os.environ[_POOL_WORKER_ENV] = "1"
 
 
-def _run_serial(
-    pending: Sequence[tuple[int, SimulationJob]],
-    results: List[Optional[SimulationResult]],
-    cache: Optional[ResultCache],
-    trace_store: Optional[TraceStore] = None,
-) -> None:
-    for index, job in pending:
-        trace = None
-        if trace_store is not None:
-            trace = trace_store.get_or_build(
-                job.workload, job.n_insts, job.seed, job.software_prefetch
-            )
-        result = execute_job(job, trace=trace)
-        results[index] = result
-        if cache is not None:
-            cache.put(job.key(), result)
-
-
 def _trace_params(job: SimulationJob) -> Tuple[str, int, int, bool]:
     return (job.workload, job.n_insts, job.seed, job.software_prefetch)
 
@@ -189,23 +187,31 @@ def _share_pending_traces(
 
     Best-effort: a platform without (enough) shared memory returns what
     was shared so far and the rest of the batch falls back to per-worker
-    synthesis.
+    synthesis.  Any *unexpected* failure closes the segments shared so
+    far before propagating — a raising batch never strands ``/dev/shm``
+    segments (an ``atexit`` guard in :mod:`repro.trace.store` backstops
+    even that).
     """
     shared: Dict[Tuple[str, int, int, bool], SharedTrace] = {}
-    for _, job in pending:
-        params = _trace_params(job)
-        if params in shared:
-            continue
-        try:
-            if trace_store is not None:
-                trace = trace_store.get_or_build(*params)
-            else:
-                from repro.workloads import cached_trace
+    try:
+        for _, job in pending:
+            params = _trace_params(job)
+            if params in shared:
+                continue
+            try:
+                if trace_store is not None:
+                    trace = trace_store.get_or_build(*params)
+                else:
+                    from repro.workloads import cached_trace
 
-                trace = cached_trace(*params)
-            shared[params] = share_trace(trace)
-        except OSError:
-            break
+                    trace = cached_trace(*params)
+                shared[params] = share_trace(trace)
+            except OSError:
+                break
+    except BaseException:
+        for entry in shared.values():
+            entry.close()
+        raise
     return shared
 
 
@@ -215,7 +221,10 @@ def run_jobs(
     cache: Optional[ResultCache] = None,
     trace_store: Optional[TraceStore] = None,
     share_traces: bool = True,
-) -> List[SimulationResult]:
+    policy: Optional[RetryPolicy] = None,
+    journal: Optional[RunJournal] = None,
+    return_report: bool = False,
+) -> List[SimulationResult] | BatchReport:
     """Execute ``jobs``; returns results aligned with the input order.
 
     ``workers=None`` picks :func:`default_workers`; explicit counts are
@@ -227,57 +236,29 @@ def run_jobs(
     ``share_traces`` (the default), parallel workers additionally map
     each distinct trace from parent-owned shared memory instead of
     building their own copy.
+
+    Failure semantics (see :mod:`repro.analysis.resilience`): each job
+    is retried under ``policy`` (default:
+    :data:`~repro.analysis.resilience.DEFAULT_POLICY`); jobs already
+    recorded in ``journal`` are skipped and fresh completions are
+    journaled as they land.  If any job fails permanently, the rest of
+    the batch still completes and persists before a
+    :class:`~repro.analysis.resilience.JobsFailedError` (carrying the
+    per-job :class:`~repro.analysis.resilience.BatchReport`) is raised.
+    Pass ``return_report=True`` to receive the report instead — no
+    exception, failed jobs appear as ``ok=False`` outcomes.
     """
-    if workers is None:
-        workers = default_workers()
-    else:
-        workers = _validated(workers, "workers")
-    if os.environ.get(_POOL_WORKER_ENV):
-        workers = 1  # already inside a pool worker: no nested pools
-
-    results: List[Optional[SimulationResult]] = [None] * len(jobs)
-    pending: List[tuple[int, SimulationJob]] = []
-    for index, job in enumerate(jobs):
-        cached = cache.get(job.key()) if cache is not None else None
-        if cached is not None:
-            results[index] = cached
-        else:
-            pending.append((index, job))
-
-    if not pending:
-        return results  # type: ignore[return-value]
-
-    if workers <= 1 or len(pending) == 1:
-        _run_serial(pending, results, cache, trace_store)
-        return results  # type: ignore[return-value]
-
-    shared = _share_pending_traces(pending, trace_store) if share_traces else {}
-    try:
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(pending)), initializer=_mark_pool_worker
-        ) as pool:
-            future_index: Dict = {}
-            for index, job in pending:
-                entry = shared.get(_trace_params(job))
-                handle = entry.handle if entry is not None else None
-                future_index[pool.submit(execute_job, job, handle)] = index
-            not_done = set(future_index)
-            while not_done:
-                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
-                for future in done:
-                    index = future_index[future]
-                    result = future.result()
-                    results[index] = result
-                    if cache is not None:
-                        cache.put(jobs[index].key(), result)
-    except (OSError, RuntimeError):
-        # A pool that cannot start or that died mid-flight (missing fork
-        # support, resource limits, killed worker): finish the remaining
-        # jobs serially — same results, just slower.
-        remaining = [(i, job) for i, job in pending if results[i] is None]
-        _run_serial(remaining, results, cache, trace_store)
-    finally:
-        for entry in shared.values():
-            entry.close()
-
-    return results  # type: ignore[return-value]
+    report = execute_batch(
+        jobs,
+        workers=workers,
+        cache=cache,
+        trace_store=trace_store,
+        share_traces=share_traces,
+        policy=policy,
+        journal=journal,
+    )
+    if return_report:
+        return report
+    if report.failures:
+        raise JobsFailedError(report)
+    return [o.result for o in report.outcomes]

@@ -29,6 +29,8 @@ from pathlib import Path
 from typing import Any, Dict, Optional
 
 from repro.common.config import SimulationConfig
+from repro.common.diskio import sweep_stale_tmp, tmp_path_for
+from repro.common.faults import fault_point
 from repro.common.stats import Stats
 from repro.core.classifier import PrefetchTally
 from repro.core.simulator import SimulationResult
@@ -157,12 +159,28 @@ class ResultCache:
     ``get`` is tolerant by design: a missing, corrupt, or structurally
     stale file is treated as a miss (and a corrupt file is removed), so a
     killed process or a format change can never wedge the cache.
+    Quarantined entries are *counted* (``.stats``, surfaced by
+    ``repro-sim bench``) so a degraded disk is distinguishable from a
+    cold cache; construction also sweeps temp files orphaned by killed
+    writers.
     """
 
     def __init__(self, directory: Optional[os.PathLike | str] = None) -> None:
         self.directory = Path(directory) if directory is not None else default_cache_dir()
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
+        self.stale_tmp_removed = sweep_stale_tmp(self.directory)
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Health counters: corruption shows up here, not as cold misses."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "quarantined": self.quarantined,
+            "stale_tmp_removed": self.stale_tmp_removed,
+        }
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.json"
@@ -181,6 +199,7 @@ class ResultCache:
                 path.unlink(missing_ok=True)
             except OSError:
                 pass
+            self.quarantined += 1
             self.misses += 1
             return None
         self.hits += 1
@@ -189,11 +208,14 @@ class ResultCache:
     def put(self, key: str, result: SimulationResult) -> None:
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self._path(key)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp = tmp_path_for(path)
         try:
             with open(tmp, "w") as fh:
                 json.dump(result_to_dict(result), fh)
             os.replace(tmp, path)  # atomic: readers never see partial files
+            spec = fault_point("cache", key=key)
+            if spec is not None and spec.kind == "corrupt-cache":
+                path.write_text("\x00 injected corruption")
         except OSError:
             tmp.unlink(missing_ok=True)
 

@@ -11,7 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro.analysis.checkpoint import RunJournal
 from repro.analysis.parallel import SimulationJob, run_jobs
+from repro.analysis.resilience import RetryPolicy
 from repro.analysis.result_cache import ResultCache
 from repro.common.config import FilterKind, SimulationConfig
 from repro.core.simulator import SimulationResult, Simulator
@@ -86,13 +88,15 @@ def compare_filters(
     engine: Optional[str] = None,
     workers: int = 1,
     cache: Optional[ResultCache] = None,
+    policy: Optional[RetryPolicy] = None,
+    journal: Optional[RunJournal] = None,
 ) -> Dict[FilterKind, SimulationResult]:
     """The paper's core comparison: the same machine under several filters."""
     jobs = [
         SimulationJob(workload, base_config.with_filter(kind=kind), n_insts, seed, True, engine)
         for kind in kinds
     ]
-    results = run_jobs(jobs, workers=workers, cache=cache)
+    results = run_jobs(jobs, workers=workers, cache=cache, policy=policy, journal=journal)
     return dict(zip(kinds, results))
 
 
@@ -105,13 +109,15 @@ def sweep_history_sizes(
     engine: Optional[str] = None,
     workers: int = 1,
     cache: Optional[ResultCache] = None,
+    policy: Optional[RetryPolicy] = None,
+    journal: Optional[RunJournal] = None,
 ) -> Dict[int, SimulationResult]:
     """Section 5.3: history-table size sensitivity (PA filter by default)."""
     jobs = [
         SimulationJob(workload, base_config.with_filter(table_entries=size), n_insts, seed, True, engine)
         for size in entries
     ]
-    results = run_jobs(jobs, workers=workers, cache=cache)
+    results = run_jobs(jobs, workers=workers, cache=cache, policy=policy, journal=journal)
     return dict(zip(entries, results))
 
 
@@ -124,13 +130,15 @@ def sweep_l1_ports(
     engine: Optional[str] = None,
     workers: int = 1,
     cache: Optional[ResultCache] = None,
+    policy: Optional[RetryPolicy] = None,
+    journal: Optional[RunJournal] = None,
 ) -> Dict[int, SimulationResult]:
     """Section 5.4: L1 port-count sensitivity (latency rises with ports)."""
     jobs = [
         SimulationJob(workload, SimulationConfig.paper_ports(p, filter_kind), n_insts, seed, True, engine)
         for p in ports
     ]
-    results = run_jobs(jobs, workers=workers, cache=cache)
+    results = run_jobs(jobs, workers=workers, cache=cache, policy=policy, journal=journal)
     return dict(zip(ports, results))
 
 
@@ -142,6 +150,8 @@ def run_all_workloads(
     engine: Optional[str] = None,
     workers: int = 1,
     cache: Optional[ResultCache] = None,
+    policy: Optional[RetryPolicy] = None,
+    journal: Optional[RunJournal] = None,
 ) -> List[SimulationResult]:
     jobs = [SimulationJob(w, config, n_insts, seed, True, engine) for w in workloads]
-    return run_jobs(jobs, workers=workers, cache=cache)
+    return run_jobs(jobs, workers=workers, cache=cache, policy=policy, journal=journal)

@@ -8,6 +8,7 @@ Subcommands::
     repro-sim config
     repro-sim experiment --id f6 --insts 120000
     repro-sim sweep --workload wave5 --what history
+    repro-sim sweep --workload wave5 --what history --resume run-1a2b3c4d5e
     repro-sim export --workload gcc --filter pa --format csv
     repro-sim bench --workload em3d --runs 5 --workers 0
     repro-sim bench --engines pipeline vector --insts 200000
@@ -97,22 +98,49 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.checkpoint import RunJournal, new_run_id
+    from repro.analysis.resilience import JobsFailedError, RetryPolicy
     from repro.analysis.sweep import sweep_history_sizes, sweep_l1_ports
 
-    if args.what == "history":
-        cfg = SimulationConfig.paper_default(FilterKind.PA).with_warmup(args.insts // 3)
-        results = sweep_history_sizes(args.workload, cfg, n_insts=args.insts, seed=args.seed)
-        table = Table(
-            f"history-size sweep — {args.workload}", ["entries", "IPC", "good", "bad"]
-        )
-        for entries, r in results.items():
-            table.add_row(str(entries), [r.ipc, float(r.prefetch.good), float(r.prefetch.bad)])
-    else:
-        results = sweep_l1_ports(args.workload, n_insts=args.insts, seed=args.seed)
-        table = Table(f"L1-port sweep — {args.workload}", ["ports", "IPC", "bad/good"])
-        for ports, r in results.items():
-            table.add_row(str(ports), [r.ipc, r.prefetch.bad_good_ratio])
+    run_id = args.resume or new_run_id()
+    journal = RunJournal.for_run(run_id)
+    policy = RetryPolicy(max_attempts=max(1, args.retries + 1), timeout=args.timeout)
+    if args.resume:
+        done = len(journal.completed())
+        print(f"resuming {run_id}: {done} job(s) already journaled")
+    try:
+        if args.what == "history":
+            cfg = SimulationConfig.paper_default(FilterKind.PA).with_warmup(args.insts // 3)
+            results = sweep_history_sizes(
+                args.workload, cfg, n_insts=args.insts, seed=args.seed,
+                workers=args.workers, policy=policy, journal=journal,
+            )
+            table = Table(
+                f"history-size sweep — {args.workload}", ["entries", "IPC", "good", "bad"]
+            )
+            for entries, r in results.items():
+                table.add_row(str(entries), [r.ipc, float(r.prefetch.good), float(r.prefetch.bad)])
+        else:
+            results = sweep_l1_ports(
+                args.workload, n_insts=args.insts, seed=args.seed,
+                workers=args.workers, policy=policy, journal=journal,
+            )
+            table = Table(f"L1-port sweep — {args.workload}", ["ports", "IPC", "bad/good"])
+            for ports, r in results.items():
+                table.add_row(str(ports), [r.ipc, r.prefetch.bad_good_ratio])
+    except JobsFailedError as exc:
+        # Everything that completed is journaled; only the failures rerun.
+        print(f"sweep incomplete: {exc}", file=sys.stderr)
+        for outcome in exc.report.failures:
+            last = outcome.attempts[-1] if outcome.attempts else None
+            detail = f"{last.kind}: {last.error}" if last else "no attempts"
+            print(f"  job[{outcome.index}] {detail}", file=sys.stderr)
+        for event in exc.report.degradations:
+            print(f"  degradation: {event}", file=sys.stderr)
+        print(f"retry just the failed jobs with: --resume {run_id}", file=sys.stderr)
+        return 1
     print(table.render())
+    print(f"run id: {run_id} (resume an interrupted sweep with --resume {run_id})")
     return 0
 
 
@@ -247,6 +275,7 @@ def _bench_engines(args: argparse.Namespace) -> int:
         "reference_engine": reference,
         "rows": rows,
         "trace_store": store_rows,
+        "trace_store_stats": store.stats,
         "summary": {
             engine: {
                 "geomean_speedup": geomean(values),
@@ -318,7 +347,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             (a.cycles, a.instructions, a.prefetch) == (b.cycles, b.instructions, b.prefetch)
             for a, b in zip(serial, warm)
         )
-        cache_stats = {"hits": cache.hits, "misses": cache.misses}
+        # Full health counters: quarantined > 0 means the disk is eating
+        # entries — a degraded cache, not a cold one.
+        cache_stats = cache.stats
 
     report = {
         "workload": workload,
@@ -381,6 +412,16 @@ def main(argv: Sequence[str] | None = None) -> int:
     p_swp = sub.add_parser("sweep", help="history-size or port-count sweep")
     p_swp.add_argument("--workload", choices=workload_names(), required=True)
     p_swp.add_argument("--what", choices=["history", "ports"], default="history")
+    p_swp.add_argument("--workers", type=int, default=1, help="parallel simulation processes")
+    p_swp.add_argument(
+        "--resume", metavar="RUN_ID", default=None,
+        help="resume a crashed/interrupted sweep from its run journal "
+        "(skips already-completed jobs; the run id is printed by every sweep)",
+    )
+    p_swp.add_argument("--retries", type=int, default=1, help="retries per failed job")
+    p_swp.add_argument(
+        "--timeout", type=float, default=None, help="per-job wall-clock timeout in seconds"
+    )
     _add_common(p_swp)
     p_swp.set_defaults(func=_cmd_sweep)
 

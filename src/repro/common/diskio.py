@@ -1,0 +1,55 @@
+"""Shared atomic-write plumbing for the on-disk stores.
+
+Both content-addressed stores (:mod:`repro.analysis.result_cache` and
+:mod:`repro.trace.store`) write through a sibling temp file and
+``os.replace`` so readers never observe a partial entry.  The helpers
+here cover the two failure modes that convention leaves open:
+
+* **Same-process collisions** — two threads share a PID, so a
+  ``.tmp.<pid>`` suffix alone lets them clobber each other's in-flight
+  write; :func:`tmp_path_for` adds a process-wide counter.
+* **Orphaned temp files** — a writer killed between ``write`` and
+  ``replace`` leaves its temp file behind forever;
+  :func:`sweep_stale_tmp` reclaims anything old enough that no live
+  write can own it (stores call it on construction).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+from pathlib import Path
+
+#: Temp files older than this are presumed orphaned by a killed writer.
+STALE_TMP_SECONDS = 3600.0
+
+#: Uniquifies tmp paths *within* a process; ``itertools.count`` is
+#: effectively atomic under CPython, which is all two threads need.
+_TMP_COUNTER = itertools.count()
+
+
+def tmp_path_for(path: Path) -> Path:
+    """A collision-free sibling temp path: ``<name>.tmp.<pid>.<n>``."""
+    return path.with_suffix(f".tmp.{os.getpid()}.{next(_TMP_COUNTER)}")
+
+
+def sweep_stale_tmp(directory: Path, max_age: float = STALE_TMP_SECONDS) -> int:
+    """Remove orphaned ``*.tmp.*`` files older than ``max_age`` seconds.
+
+    Best-effort on every step — a racing sweeper, a vanishing file, or a
+    missing directory all count as "nothing to do".
+    """
+    removed = 0
+    try:
+        cutoff = time.time() - max_age
+        for tmp in directory.glob("*.tmp.*"):
+            try:
+                if tmp.stat().st_mtime < cutoff:
+                    tmp.unlink()
+                    removed += 1
+            except OSError:
+                continue
+    except OSError:
+        pass
+    return removed

@@ -33,16 +33,20 @@ see :func:`attach_trace`.)
 
 from __future__ import annotations
 
+import atexit
 import hashlib
 import io
 import json
 import os
+import weakref
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional
+from typing import Dict, Optional
 
 import numpy as np
 
+from repro.common.diskio import sweep_stale_tmp, tmp_path_for
+from repro.common.faults import fault_point
 from repro.trace.stream import Trace
 
 #: Bump whenever workload generators or the software-prefetch inserter
@@ -86,12 +90,27 @@ class TraceStore:
     ``get`` is tolerant by design: a missing, corrupt, or structurally
     stale file is treated as a miss (and a corrupt file is removed), so
     a killed process or a format change can never wedge the store.
+    Quarantined entries are *counted* (``.stats``) so a degraded disk is
+    distinguishable from a cold store; construction also sweeps temp
+    files orphaned by killed writers.
     """
 
     def __init__(self, directory: Optional[os.PathLike | str] = None) -> None:
         self.directory = Path(directory) if directory is not None else default_store_dir()
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
+        self.stale_tmp_removed = sweep_stale_tmp(self.directory)
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Health counters: corruption shows up here, not as cold misses."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "quarantined": self.quarantined,
+            "stale_tmp_removed": self.stale_tmp_removed,
+        }
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.npz"
@@ -115,6 +134,7 @@ class TraceStore:
                 path.unlink(missing_ok=True)
             except OSError:
                 pass
+            self.quarantined += 1
             self.misses += 1
             return None
         self.hits += 1
@@ -123,7 +143,7 @@ class TraceStore:
     def put(self, key: str, trace: Trace) -> None:
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self._path(key)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp = tmp_path_for(path)
         try:
             # Serialise to memory first: np.savez appends ``.npz`` to
             # unknown suffixes, which would break the atomic rename.
@@ -139,6 +159,9 @@ class TraceStore:
             with open(tmp, "wb") as fh:
                 fh.write(buf.getvalue())
             os.replace(tmp, path)  # atomic: readers never see partial files
+            spec = fault_point("cache", key=key)
+            if spec is not None and spec.kind == "corrupt-cache":
+                path.write_bytes(b"\x00 injected corruption")
         except OSError:
             try:
                 tmp.unlink(missing_ok=True)
@@ -188,6 +211,23 @@ class TraceStore:
 # ----------------------------------------------------------------------
 # Shared-memory handoff
 # ----------------------------------------------------------------------
+#: Every live owner-side segment, so an abnormal exit (uncaught
+#: exception, ``sys.exit`` mid-sweep) still unlinks them: ``close()`` is
+#: idempotent and drops the entry via weak reference, and the ``atexit``
+#: hook closes whatever is left.  A SIGKILL still strands segments —
+#: nothing in-process can help there — but every Python-visible exit
+#: path is covered.
+_LIVE_SEGMENTS: "weakref.WeakSet[SharedTrace]" = weakref.WeakSet()
+
+
+def _close_leftover_segments() -> None:  # pragma: no cover - exit hook
+    for segment in list(_LIVE_SEGMENTS):
+        segment.close()
+
+
+atexit.register(_close_leftover_segments)
+
+
 @dataclass(frozen=True)
 class SharedTraceHandle:
     """Everything a worker needs to map a shared trace: plain picklable data."""
@@ -275,8 +315,17 @@ class TraceAttachment:
 
 
 def share_trace(trace: Trace) -> SharedTrace:
-    """Copy ``trace`` into a fresh shared-memory segment (parent side)."""
+    """Copy ``trace`` into a fresh shared-memory segment (parent side).
+
+    Raises ``OSError`` when shared memory is unavailable (including via
+    an injected ``shm-unavailable`` fault); callers fall back to
+    per-worker trace synthesis.
+    """
     from multiprocessing import shared_memory
+
+    spec = fault_point("shm", key=trace.name)
+    if spec is not None and spec.kind == "shm-unavailable":
+        raise OSError("injected fault: shared memory unavailable")
 
     n = len(trace)
     pc_off, addr_off, iclass_off, taken_off, total = _layout(n)
@@ -287,7 +336,9 @@ def share_trace(trace: Trace) -> SharedTrace:
     np.frombuffer(buf, dtype=np.uint8, count=n, offset=iclass_off)[:] = trace.iclass
     np.frombuffer(buf, dtype=np.bool_, count=n, offset=taken_off)[:] = trace.taken
     handle = SharedTraceHandle(shm_name=shm.name, length=n, trace_name=trace.name)
-    return SharedTrace(shm, handle)
+    shared = SharedTrace(shm, handle)
+    _LIVE_SEGMENTS.add(shared)
+    return shared
 
 
 def attach_trace(handle: SharedTraceHandle) -> TraceAttachment:

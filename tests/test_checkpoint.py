@@ -1,0 +1,186 @@
+"""Run journal: crash consistency, resume semantics, CLI wiring."""
+
+import json
+
+import pytest
+
+import repro.analysis.parallel as parallel_mod
+from repro.analysis.checkpoint import (
+    RunJournal,
+    journal_path,
+    new_run_id,
+    runs_dir,
+)
+from repro.analysis.parallel import SimulationJob, run_jobs
+from repro.common.config import FilterKind, SimulationConfig
+
+N = 3_000
+WARM = 1_000
+
+
+def _cfg(kind=FilterKind.NONE):
+    return SimulationConfig.paper_default(kind).with_warmup(WARM)
+
+
+@pytest.fixture(scope="module")
+def result():
+    """One real simulation result to journal (tiny, computed once)."""
+    [r] = run_jobs([SimulationJob("em3d", _cfg(), N, 0)], workers=1)
+    return r
+
+
+def _fingerprint(result):
+    return (
+        result.trace_name,
+        result.cycles,
+        result.instructions,
+        result.prefetch,
+        tuple(sorted(result.stats.flat().items())),
+    )
+
+
+class TestJournalBasics:
+    def test_new_run_id_shape_and_uniqueness(self):
+        ids = {new_run_id() for _ in range(32)}
+        assert len(ids) == 32
+        assert all(i.startswith("run-") for i in ids)
+
+    def test_journal_path_respects_cache_dir_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert runs_dir() == tmp_path / "runs"
+        assert journal_path("run-abc") == tmp_path / "runs" / "run-abc.jsonl"
+
+    def test_missing_file_is_empty(self, tmp_path):
+        journal = RunJournal(tmp_path / "nope.jsonl")
+        assert journal.load() == {}
+        assert journal.completed() == {}
+        assert len(journal) == 0
+
+    def test_success_roundtrip(self, tmp_path, result):
+        journal = RunJournal(tmp_path / "j.jsonl")
+        journal.record_success("k1", result)
+        back = RunJournal(tmp_path / "j.jsonl").completed()
+        assert set(back) == {"k1"}
+        assert _fingerprint(back["k1"]) == _fingerprint(result)
+
+    def test_failures_recorded_but_not_completed(self, tmp_path):
+        journal = RunJournal(tmp_path / "j.jsonl")
+        journal.record_failure("k1", "boom", [{"attempt": 0, "kind": "exception"}])
+        assert journal.completed() == {}
+        failed = journal.failed()
+        assert failed["k1"]["error"] == "boom"
+        assert failed["k1"]["attempts"][0]["kind"] == "exception"
+
+    def test_last_writer_wins(self, tmp_path, result):
+        journal = RunJournal(tmp_path / "j.jsonl")
+        journal.record_failure("k1", "first try died")
+        journal.record_success("k1", result)
+        assert set(journal.completed()) == {"k1"}
+        assert journal.failed() == {}
+        assert len(journal) == 1  # one key, despite two appended lines
+
+
+class TestCrashConsistency:
+    def test_torn_tail_is_tolerated(self, tmp_path, result):
+        journal = RunJournal(tmp_path / "j.jsonl")
+        journal.record_success("k1", result)
+        journal.record_success("k2", result)
+        with open(journal.path, "a") as fh:
+            fh.write('{"key": "k3", "ok": true, "result": {"trun')  # torn mid-write
+        back = RunJournal(journal.path)
+        assert set(back.completed()) == {"k1", "k2"}
+
+    def test_foreign_lines_are_skipped(self, tmp_path, result):
+        journal = RunJournal(tmp_path / "j.jsonl")
+        journal.record_success("k1", result)
+        with open(journal.path, "a") as fh:
+            fh.write("\n")  # blank
+            fh.write("[1, 2, 3]\n")  # valid JSON, wrong shape
+            fh.write(json.dumps({"ok": True}) + "\n")  # missing key field
+        assert set(RunJournal(journal.path).load()) == {"k1"}
+
+    def test_success_with_garbled_result_not_treated_as_done(self, tmp_path):
+        journal = RunJournal(tmp_path / "j.jsonl")
+        with open(journal.path, "w") as fh:
+            fh.write(json.dumps({"key": "k1", "ok": True, "result": {"nope": 1}}) + "\n")
+        assert RunJournal(journal.path).completed() == {}
+
+    def test_every_append_lands_on_disk_immediately(self, tmp_path, result):
+        """The crash contract: a record is durable the moment the call
+        returns — a *different* handle must see it with no close/flush."""
+        journal = RunJournal(tmp_path / "j.jsonl")
+        for i in range(3):
+            journal.record_success(f"k{i}", result)
+            assert len(RunJournal(journal.path)) == i + 1
+
+
+class TestResumeThroughRunJobs:
+    def test_journaled_jobs_are_never_reexecuted(self, tmp_path, monkeypatch):
+        jobs = [SimulationJob("gzip", _cfg(), N, s) for s in range(3)]
+        journal = RunJournal(tmp_path / "j.jsonl")
+        first = run_jobs(jobs, workers=1, journal=journal)
+
+        calls = []
+
+        def spy(job):
+            calls.append(job)
+            raise AssertionError("journaled job was re-executed")
+
+        monkeypatch.setattr(parallel_mod, "execute_job", spy)
+        again = run_jobs(jobs, workers=1, journal=RunJournal(tmp_path / "j.jsonl"))
+        assert calls == []
+        for a, b in zip(first, again):
+            assert _fingerprint(a) == _fingerprint(b)
+
+    def test_resume_runs_only_the_missing_jobs(self, tmp_path):
+        jobs = [SimulationJob("gzip", _cfg(), N, s) for s in range(4)]
+        journal = RunJournal(tmp_path / "j.jsonl")
+        run_jobs(jobs[:2], workers=1, journal=journal)  # "crashed" after two
+
+        report = run_jobs(
+            jobs, workers=1, journal=RunJournal(tmp_path / "j.jsonl"), return_report=True
+        )
+        assert [o.from_journal for o in report.outcomes] == [True, True, False, False]
+        executed = [o for o in report.outcomes if o.executed]
+        assert len(executed) == 2
+
+    def test_cache_hits_are_backfilled_into_the_journal(self, tmp_path):
+        from repro.analysis.result_cache import ResultCache
+
+        jobs = [SimulationJob("gzip", _cfg(), N, 0)]
+        cache = ResultCache(tmp_path / "cache")
+        run_jobs(jobs, workers=1, cache=cache)  # warm the cache, no journal
+
+        journal = RunJournal(tmp_path / "j.jsonl")
+        run_jobs(jobs, workers=1, cache=cache, journal=journal)
+        # The journal alone can now resume this run, cache or no cache.
+        assert set(RunJournal(journal.path).completed()) == {jobs[0].key()}
+
+
+class TestSweepResumeCLI:
+    def test_sweep_prints_run_id_and_resume_skips_done_jobs(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        argv = ["sweep", "--workload", "gzip", "--what", "ports", "--insts", str(N)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "run id: run-" in out
+        run_id = out.rsplit("run id: ", 1)[1].split()[0]
+        first_table = out[: out.index("run id:")]
+
+        calls = []
+        real = parallel_mod.execute_job
+
+        def spy(job, **kwargs):
+            calls.append(job)
+            return real(job, **kwargs)
+
+        monkeypatch.setattr(parallel_mod, "execute_job", spy)
+        assert main(argv + ["--resume", run_id]) == 0
+        out = capsys.readouterr().out
+        assert calls == []  # every job replayed from the journal
+        assert f"resuming {run_id}" in out
+        assert first_table in out  # identical table from journaled results

@@ -1,0 +1,146 @@
+"""Fault-injection harness: grammar, determinism, firing semantics."""
+
+import os
+
+import pytest
+
+from repro.common.faults import (
+    FAULT_SEED_ENV,
+    FAULTS_ENV,
+    FaultInjected,
+    FaultInjector,
+    FaultSpec,
+    ambient_fault_args,
+    ambient_injector,
+    fault_point,
+    hash_unit,
+    inject_faults,
+    parse_faults,
+)
+
+
+class TestParseFaults:
+    def test_minimal_spec_defaults(self):
+        (spec,) = parse_faults("raise@worker")
+        assert spec.kind == "raise"
+        assert spec.site == "worker"
+        assert spec.match == ""
+        assert spec.attempts is None
+        assert spec.probability == 1.0
+
+    def test_full_grammar(self):
+        (spec,) = parse_faults("hang@worker:match=|seed=5|,attempts=0|2,p=0.5,seconds=7.5")
+        assert spec.kind == "hang"
+        assert spec.match == "|seed=5|"
+        assert spec.attempts == frozenset({0, 2})
+        assert spec.probability == 0.5
+        assert spec.seconds == 7.5
+
+    def test_semicolon_separated_plan(self):
+        specs = parse_faults("raise@worker:match=a; exit@worker:match=b ;; corrupt-cache@cache")
+        assert [s.kind for s in specs] == ["raise", "exit", "corrupt-cache"]
+        assert [s.site for s in specs] == ["worker", "worker", "cache"]
+
+    def test_site_defaults_to_worker(self):
+        (spec,) = parse_faults("raise")
+        assert spec.site == "worker"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            parse_faults("segv@worker")
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault option"):
+            parse_faults("raise@worker:frequency=2")
+
+
+class TestHashUnit:
+    def test_deterministic_and_uniform_range(self):
+        a = hash_unit(0, "x", 1)
+        assert a == hash_unit(0, "x", 1)
+        assert 0.0 <= a < 1.0
+
+    def test_varies_with_seed_and_parts(self):
+        draws = {hash_unit(s, "x", n) for s in range(3) for n in range(3)}
+        assert len(draws) == 9
+
+
+class TestFaultSpecApplies:
+    def test_match_filters_by_key_substring(self):
+        spec = FaultSpec(kind="raise", site="worker", match="|seed=3|")
+        assert spec.applies("worker", "em3d|seed=3|n=100|", 0, 0, 0)
+        assert not spec.applies("worker", "em3d|seed=30|n=100|", 0, 0, 0)
+
+    def test_site_must_match(self):
+        spec = FaultSpec(kind="raise", site="cache")
+        assert not spec.applies("worker", "anything", 0, 0, 0)
+
+    def test_attempts_gate_makes_fault_transient(self):
+        spec = FaultSpec(kind="raise", site="worker", attempts=frozenset({0}))
+        assert spec.applies("worker", "k", 0, 0, 0)
+        assert not spec.applies("worker", "k", 1, 0, 0)
+
+    def test_probability_is_seed_deterministic(self):
+        spec = FaultSpec(kind="raise", site="worker", probability=0.5)
+        first = [spec.applies("worker", f"k{i}", 0, 7, 0) for i in range(64)]
+        second = [spec.applies("worker", f"k{i}", 0, 7, 0) for i in range(64)]
+        assert first == second
+        assert any(first) and not all(first)  # p=0.5 over 64 keys: both outcomes
+
+
+class TestFiring:
+    def test_raise_fault_raises(self):
+        injector = FaultInjector.from_text("raise@worker")
+        with pytest.raises(FaultInjected):
+            injector.fire("worker", "k", 0)
+
+    def test_non_matching_site_is_noop(self):
+        injector = FaultInjector.from_text("raise@worker")
+        assert injector.fire("cache", "k", 0) is None
+
+    def test_exit_outside_pool_worker_degrades_to_raise(self, monkeypatch):
+        monkeypatch.delenv("REPRO_POOL_WORKER", raising=False)
+        injector = FaultInjector.from_text("exit@worker")
+        with pytest.raises(FaultInjected, match="outside a pool worker"):
+            injector.fire("worker", "k", 0)
+
+    def test_corrupt_cache_spec_is_returned_not_raised(self):
+        injector = FaultInjector.from_text("corrupt-cache@cache")
+        spec = injector.fire("cache", "k", 0)
+        assert spec is not None and spec.kind == "corrupt-cache"
+
+    def test_hang_sleeps_for_configured_seconds(self):
+        import time
+
+        injector = FaultInjector.from_text("hang@worker:seconds=0.05")
+        t0 = time.monotonic()
+        injector.fire("worker", "k", 0)
+        assert time.monotonic() - t0 >= 0.05
+
+
+class TestAmbientPlan:
+    def test_inject_faults_installs_and_restores_env(self, monkeypatch):
+        monkeypatch.delenv(FAULTS_ENV, raising=False)
+        monkeypatch.delenv(FAULT_SEED_ENV, raising=False)
+        assert ambient_fault_args() is None
+        with inject_faults("raise@worker:match=x", seed=9):
+            assert ambient_fault_args() == ("raise@worker:match=x", 9)
+            assert ambient_injector().seed == 9
+        assert ambient_fault_args() is None
+        assert os.environ.get(FAULTS_ENV) is None
+
+    def test_fault_point_noop_without_plan(self, monkeypatch):
+        monkeypatch.delenv(FAULTS_ENV, raising=False)
+        assert fault_point("worker", key="k") is None
+
+    def test_fault_point_prefers_explicit_injector(self, monkeypatch):
+        monkeypatch.delenv(FAULTS_ENV, raising=False)
+        injector = FaultInjector.from_text("raise@worker")
+        with pytest.raises(FaultInjected):
+            fault_point("worker", key="k", injector=injector)
+
+    def test_fault_point_fires_ambient_plan(self):
+        with inject_faults("raise@worker:match=only-this"):
+            assert fault_point("worker", key="something-else") is None
+            with pytest.raises(FaultInjected):
+                fault_point("worker", key="xx only-this xx")

@@ -115,3 +115,55 @@ class TestResultCache:
     def test_default_dir_under_home(self, monkeypatch):
         monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
         assert str(default_cache_dir()).endswith(os.path.join(".cache", "repro"))
+
+
+class TestHealthCounters:
+    def test_quarantined_counter_tracks_corruption(self, tmp_path, sample_result):
+        cache = ResultCache(tmp_path)
+        cache.put("k", sample_result)
+        (tmp_path / "k.json").write_text("\x00 not json")
+        assert cache.get("k") is None
+        assert cache.quarantined == 1
+        assert cache.stats == {
+            "hits": 0, "misses": 1, "quarantined": 1, "stale_tmp_removed": 0,
+        }
+
+    def test_plain_miss_is_not_quarantine(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("nope") is None
+        assert cache.stats["quarantined"] == 0 and cache.stats["misses"] == 1
+
+    def test_injected_corruption_is_observable(self, tmp_path, sample_result):
+        """corrupt-cache fault -> garbled entry -> quarantined, not wedged."""
+        from repro.common.faults import inject_faults
+
+        cache = ResultCache(tmp_path)
+        with inject_faults("corrupt-cache@cache"):
+            cache.put("k", sample_result)
+        fresh = ResultCache(tmp_path)
+        assert fresh.get("k") is None
+        assert fresh.quarantined == 1
+
+
+class TestTmpFileHygiene:
+    def test_tmp_paths_are_unique_within_a_process(self, tmp_path):
+        from repro.common.diskio import tmp_path_for
+
+        target = tmp_path / "k.json"
+        a, b = tmp_path_for(target), tmp_path_for(target)
+        assert a != b
+        assert f".tmp.{os.getpid()}." in a.name and f".tmp.{os.getpid()}." in b.name
+
+    def test_init_sweeps_only_stale_tmp_files(self, tmp_path, sample_result):
+        old = tmp_path / "dead.json.tmp.999.0"
+        old.write_text("orphan")
+        os.utime(old, (1, 1))  # ancient mtime: clearly a dead writer's
+        fresh = tmp_path / "live.json.tmp.888.0"
+        fresh.write_text("in flight")
+
+        cache = ResultCache(tmp_path)
+        assert cache.stale_tmp_removed == 1
+        assert not old.exists()
+        assert fresh.exists()  # a live writer's file is left alone
+        cache.put("k", sample_result)  # and the cache still works
+        assert cache.get("k") is not None

@@ -225,3 +225,59 @@ class TestRunJobsIntegration:
         if os.path.isdir("/dev/shm"):
             mine = [p for p in os.listdir("/dev/shm") if p.startswith("psm_")]
             assert mine == []
+
+
+class TestStoreHealthCounters:
+    def test_quarantined_counter_tracks_corruption(self, tmp_path):
+        store = TraceStore(tmp_path)
+        key = trace_key("em3d", N, 0)
+        store.put(key, _trace())
+        (tmp_path / f"{key}.npz").write_bytes(b"\x00 not a zip")
+        assert store.get(key) is None
+        assert store.quarantined == 1
+        assert store.stats == {
+            "hits": 0, "misses": 1, "quarantined": 1, "stale_tmp_removed": 0,
+        }
+
+    def test_injected_corruption_is_observable(self, tmp_path):
+        from repro.common.faults import inject_faults
+
+        store = TraceStore(tmp_path)
+        key = trace_key("em3d", N, 0)
+        with inject_faults("corrupt-cache@cache"):
+            store.put(key, _trace())
+        fresh = TraceStore(tmp_path)
+        assert fresh.get(key) is None
+        assert fresh.quarantined == 1
+
+    def test_init_sweeps_stale_tmp_files(self, tmp_path):
+        old = tmp_path / "dead.npz.tmp.999.0"
+        old.write_bytes(b"orphan")
+        os.utime(old, (1, 1))
+        store = TraceStore(tmp_path)
+        assert store.stale_tmp_removed == 1 and not old.exists()
+
+
+class TestShmFaultsAndLeakGuard:
+    def test_shm_unavailable_fault_raises_oserror(self):
+        from repro.common.faults import inject_faults
+
+        with inject_faults("shm-unavailable@shm"):
+            with pytest.raises(OSError, match="injected"):
+                share_trace(_trace(n=512))
+
+    def test_atexit_guard_closes_leftover_segments(self):
+        from multiprocessing import shared_memory
+
+        from repro.trace.store import _close_leftover_segments
+
+        shared = share_trace(_trace(n=512))
+        name = shared.handle.shm_name
+        _close_leftover_segments()  # what an abnormal exit would run
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_close_is_idempotent(self):
+        shared = share_trace(_trace(n=512))
+        shared.close()
+        shared.close()  # second close must be a no-op, not an error
