@@ -29,6 +29,7 @@ resume retries every failure.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import uuid
@@ -40,9 +41,22 @@ from repro.analysis.result_cache import (
     result_from_dict,
     result_to_dict,
 )
+from repro.common.faults import fault_point
 from repro.core.simulator import SimulationResult
 
 _RECORD_VERSION = 1
+
+#: Per-line integrity field.  Records written before this field existed
+#: have no digest and are accepted as legacy; a *wrong* digest is always
+#: quarantined.
+_DIGEST_KEY = "sha256"
+
+
+def _record_digest(record: Dict[str, Any]) -> str:
+    """Canonical SHA-256 of a journal record, digest field excluded."""
+    body = {k: v for k, v in record.items() if k != _DIGEST_KEY}
+    blob = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
 
 
 def runs_dir() -> Path:
@@ -66,6 +80,15 @@ class RunJournal:
     def __init__(self, path: os.PathLike | str) -> None:
         self.path = Path(path)
         self.appended = 0
+        # Line numbers already quarantined, so repeated ``load()`` calls
+        # (resume consults the journal more than once) count each corrupt
+        # line exactly once.
+        self._quarantined_lines: set[int] = set()
+
+    @property
+    def quarantined(self) -> int:
+        """Distinct journal lines rejected for a digest mismatch."""
+        return len(self._quarantined_lines)
 
     @classmethod
     def for_run(cls, run_id: str, directory: Optional[os.PathLike | str] = None) -> "RunJournal":
@@ -76,6 +99,12 @@ class RunJournal:
     # ------------------------------------------------------------------
     def _append(self, record: Dict[str, Any]) -> None:
         record["v"] = _RECORD_VERSION
+        record[_DIGEST_KEY] = _record_digest(record)
+        spec = fault_point("journal", key=str(record.get("key", "")))
+        if spec is not None and spec.kind == "corrupt-artifact":
+            # Still valid JSON, still shaped like a record — only the
+            # digest check can tell this line has been tampered with.
+            record = dict(record, v=_RECORD_VERSION + 1)
         line = json.dumps(record, separators=(",", ":")) + "\n"
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with open(self.path, "a") as fh:
@@ -94,11 +123,18 @@ class RunJournal:
     # Reading
     # ------------------------------------------------------------------
     def load(self) -> Dict[str, Dict[str, Any]]:
-        """Replay the journal: latest raw record per key, torn tail tolerated."""
+        """Replay the journal: latest raw record per key, torn tail tolerated.
+
+        Lines carrying a ``sha256`` field are verified against their own
+        content and *quarantined* (skipped and counted, exactly once per
+        line) on mismatch — resume then re-runs those jobs rather than
+        trusting a tampered outcome.  Lines without the field predate
+        per-line digests and are accepted as-is.
+        """
         records: Dict[str, Dict[str, Any]] = {}
         try:
             with open(self.path) as fh:
-                for line in fh:
+                for lineno, line in enumerate(fh):
                     line = line.strip()
                     if not line:
                         continue
@@ -107,6 +143,10 @@ class RunJournal:
                     except json.JSONDecodeError:
                         continue  # torn/corrupt line: skip, keep replaying
                     if not isinstance(record, dict) or "key" not in record or "ok" not in record:
+                        continue
+                    stored = record.get(_DIGEST_KEY)
+                    if stored is not None and stored != _record_digest(record):
+                        self._quarantined_lines.add(lineno)
                         continue
                     records[record["key"]] = record
         except FileNotFoundError:

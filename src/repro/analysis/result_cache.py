@@ -55,8 +55,15 @@ def _canonical(obj: Any) -> Any:
 
 
 def config_fingerprint(config: SimulationConfig) -> Dict[str, Any]:
-    """The config as a canonical, JSON-serialisable nested dict."""
-    return _canonical(dataclasses.asdict(config))
+    """The config as a canonical, JSON-serialisable nested dict.
+
+    ``sanitize`` is excluded: the invariant sanitizer is read-only, so a
+    sanitized run produces bit-identical counters to an unsanitized one
+    and both must resolve to the same cache key.
+    """
+    data = _canonical(dataclasses.asdict(config))
+    data.pop("sanitize", None)
+    return data
 
 
 def run_key(
@@ -144,6 +151,20 @@ def result_from_dict(data: Dict[str, Any]) -> SimulationResult:
 
 
 # ----------------------------------------------------------------------
+# Artifact integrity
+# ----------------------------------------------------------------------
+#: JSON key carrying the entry's own digest (excluded from the digest).
+DIGEST_KEY = "sha256"
+
+
+def payload_digest(data: Dict[str, Any]) -> str:
+    """SHA-256 over the canonical encoding of an entry (minus its digest)."""
+    body = {k: v for k, v in data.items() if k != DIGEST_KEY}
+    blob = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
 # The on-disk store
 # ----------------------------------------------------------------------
 def default_cache_dir() -> Path:
@@ -190,6 +211,11 @@ class ResultCache:
         try:
             with open(path) as fh:
                 data = json.load(fh)
+            stored = data.get(DIGEST_KEY)
+            if stored != payload_digest(data):
+                # Bit rot, truncation, or a pre-digest entry: either way
+                # the bytes cannot be trusted as a simulation result.
+                raise ValueError("artifact digest mismatch")
             result = result_from_dict(data)
         except FileNotFoundError:
             self.misses += 1
@@ -209,13 +235,21 @@ class ResultCache:
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self._path(key)
         tmp = tmp_path_for(path)
+        data = result_to_dict(result)
+        data[DIGEST_KEY] = payload_digest(data)
         try:
             with open(tmp, "w") as fh:
-                json.dump(result_to_dict(result), fh)
+                json.dump(data, fh)
             os.replace(tmp, path)  # atomic: readers never see partial files
             spec = fault_point("cache", key=key)
-            if spec is not None and spec.kind == "corrupt-cache":
-                path.write_text("\x00 injected corruption")
+            if spec is not None and spec.kind in ("corrupt-cache", "corrupt-artifact"):
+                if spec.kind == "corrupt-cache":
+                    path.write_text("\x00 injected corruption")
+                else:
+                    # Valid JSON, wrong bytes: only the digest check can
+                    # tell this apart from a genuine result.
+                    data["instructions"] = int(data.get("instructions", 0)) + 1
+                    path.write_text(json.dumps(data))
         except OSError:
             tmp.unlink(missing_ok=True)
 

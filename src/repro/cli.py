@@ -9,6 +9,7 @@ Subcommands::
     repro-sim experiment --id f6 --insts 120000
     repro-sim sweep --workload wave5 --what history
     repro-sim sweep --workload wave5 --what history --resume run-1a2b3c4d5e
+    repro-sim verify --workload em3d mcf --insts 12000
     repro-sim export --workload gcc --filter pa --format csv
     repro-sim bench --workload em3d --runs 5 --workers 0
     repro-sim bench --engines pipeline vector --insts 200000
@@ -38,13 +39,30 @@ def _add_common(p: argparse.ArgumentParser) -> None:
         default=None,
         help="simulation engine (default: the config's engine, i.e. pipeline)",
     )
+    p.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="enable runtime invariant checking (same as REPRO_SANITIZE=1)",
+    )
+
+
+def _finalize(cfg: SimulationConfig, args: argparse.Namespace) -> SimulationConfig:
+    """Apply cross-cutting CLI flags and validate before anything is spawned.
+
+    Validation here means a bad parameter combination fails with one
+    actionable message at the front door, not as a traceback from inside
+    a worker process minutes into a sweep.
+    """
+    if getattr(args, "sanitize", False):
+        cfg = cfg.with_sanitize(True)
+    return cfg.validate()
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     cfg = SimulationConfig.paper_default(FilterKind(args.filter))
     if args.l1_kb == 32:
         cfg = SimulationConfig.paper_32kb(FilterKind(args.filter))
-    result = run_workload(args.workload, cfg, args.insts, args.seed, args.engine)
+    result = run_workload(args.workload, _finalize(cfg, args), args.insts, args.seed, args.engine)
     t = result.prefetch
     print(f"workload          {result.trace_name}")
     print(f"filter            {result.filter_name}")
@@ -63,7 +81,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    cfg = SimulationConfig.paper_default()
+    cfg = _finalize(SimulationConfig.paper_default(), args)
     results = compare_filters(args.workload, cfg, n_insts=args.insts, seed=args.seed, engine=args.engine)
     table = Table(f"filter comparison — {args.workload}", ["filter", "IPC", "good", "bad", "bad/good"])
     for kind, r in results.items():
@@ -73,7 +91,9 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_table2(args: argparse.Namespace) -> int:
-    cfg = SimulationConfig.paper_default().with_prefetch(nsp=False, sdp=False, software=False)
+    cfg = _finalize(
+        SimulationConfig.paper_default().with_prefetch(nsp=False, sdp=False, software=False), args
+    )
     table = Table("Table 2 — benchmark properties (prefetch off)", ["benchmark", "L1 miss", "L2 miss"])
     for name in workload_names():
         r = run_workload(name, cfg, args.insts, args.seed, args.engine, software_prefetch=False)
@@ -108,9 +128,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.resume:
         done = len(journal.completed())
         print(f"resuming {run_id}: {done} job(s) already journaled")
+        if journal.quarantined:
+            print(
+                f"journal quarantine: {journal.quarantined} corrupt line(s) refused; "
+                "the affected jobs will be re-run",
+                file=sys.stderr,
+            )
     try:
         if args.what == "history":
-            cfg = SimulationConfig.paper_default(FilterKind.PA).with_warmup(args.insts // 3)
+            cfg = _finalize(
+                SimulationConfig.paper_default(FilterKind.PA).with_warmup(args.insts // 3), args
+            )
             results = sweep_history_sizes(
                 args.workload, cfg, n_insts=args.insts, seed=args.seed,
                 workers=args.workers, policy=policy, journal=journal,
@@ -140,14 +168,75 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"retry just the failed jobs with: --resume {run_id}", file=sys.stderr)
         return 1
     print(table.render())
+    if journal.quarantined:
+        print(
+            f"journal quarantine: {journal.quarantined} corrupt line(s) ignored "
+            "(those jobs were re-run, not trusted)",
+            file=sys.stderr,
+        )
     print(f"run id: {run_id} (resume an interrupted sweep with --resume {run_id})")
     return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    """Cross-engine differential oracle + golden corpus replay.
+
+    Exit 0 only when every parity cell passes the documented tolerance
+    AND every golden record replays bit-identically (unless skipped).
+    """
+    from pathlib import Path
+
+    from repro.sanitize import differential as diff
+
+    failed = False
+    for workload in args.workload:
+        for name in args.filter:
+            kind = FilterKind.from_name(name)
+            report = diff.run_parity(
+                workload, kind, n_insts=args.insts, seed=args.seed,
+                sanitize=not args.no_sanitize,
+            )
+            tag = f"{workload}/{name}"
+            if report.ok:
+                worst = report.worst
+                detail = (
+                    f"worst {worst.key}: rel {worst.rel:.3f}, abs {worst.delta}"
+                    if worst else "exact"
+                )
+                print(f"parity {tag:14s} ok    ({detail})")
+            else:
+                failed = True
+                print(f"parity {tag:14s} FAIL")
+                for d in report.failures:
+                    print(
+                        f"    {d.key}: pipeline {d.pipeline} vs vector {d.vector} "
+                        f"(rel {d.rel:.3f}, abs {d.delta})"
+                    )
+
+    if not args.no_golden:
+        directory = Path(args.golden) if args.golden else diff.default_golden_dir()
+        if directory is None:
+            print("golden: no corpus directory found (pass --golden DIR)", file=sys.stderr)
+            failed = True
+        else:
+            for outcome in diff.verify_golden(directory):
+                status = "ok   " if outcome.ok else ("STALE" if outcome.stale else "FAIL ")
+                print(f"golden {outcome.path.name:26s} {status} {outcome.message}")
+                for mismatch in outcome.mismatches:
+                    print(f"    {mismatch}")
+                if not outcome.ok:
+                    failed = True
+
+    print("verify: FAIL" if failed else "verify: all checks passed")
+    return 1 if failed else 0
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
     from repro.analysis.export import results_to_csv, results_to_json
 
-    cfg = SimulationConfig.paper_default(FilterKind(args.filter)).with_warmup(args.insts // 3)
+    cfg = _finalize(
+        SimulationConfig.paper_default(FilterKind(args.filter)).with_warmup(args.insts // 3), args
+    )
     results = [
         run_workload(w, cfg, args.insts, args.seed, args.engine)
         for w in (args.workload or workload_names())
@@ -211,7 +300,7 @@ def _bench_engines(args: argparse.Namespace) -> int:
     for workload in workloads:
         trace = cached_trace(workload, args.insts, args.seed)
         for filter_name in filters:
-            cfg = SimulationConfig.paper_default(FilterKind(filter_name))
+            cfg = _finalize(SimulationConfig.paper_default(FilterKind(filter_name)), args)
             seconds, counters, deltas = {}, {}, {}
             for engine in args.engines:
                 seconds[engine], result = best_time(workload, cfg, engine, trace)
@@ -310,7 +399,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return _bench_engines(args)
 
     workload = args.workload or "em3d"
-    cfg = SimulationConfig.paper_default(FilterKind(args.filter)).with_warmup(args.insts // 3)
+    cfg = _finalize(
+        SimulationConfig.paper_default(FilterKind(args.filter)).with_warmup(args.insts // 3), args
+    )
     # Distinct seeds make each run a genuinely different simulation, so the
     # cache cannot collapse the batch into one job.
     jobs = [
@@ -425,6 +516,28 @@ def main(argv: Sequence[str] | None = None) -> int:
     _add_common(p_swp)
     p_swp.set_defaults(func=_cmd_sweep)
 
+    p_vf = sub.add_parser(
+        "verify",
+        help="differential oracle: pipeline-vs-vector parity + golden corpus replay",
+    )
+    p_vf.add_argument(
+        "--workload", nargs="+", choices=workload_names(), default=["em3d", "mcf"],
+        help="workloads to run through both engines (default: em3d mcf)",
+    )
+    p_vf.add_argument(
+        "--filter", nargs="+", default=["none", "pa", "pc"],
+        help="filters per workload (default: none pa pc)",
+    )
+    p_vf.add_argument("--insts", type=int, default=12_000, help="instructions per parity run")
+    p_vf.add_argument("--seed", type=int, default=0)
+    p_vf.add_argument("--golden", help="golden corpus directory (default: tests/golden)")
+    p_vf.add_argument("--no-golden", action="store_true", help="skip the golden corpus replay")
+    p_vf.add_argument(
+        "--no-sanitize", action="store_true",
+        help="run the parity pairs without the runtime invariant sanitizer",
+    )
+    p_vf.set_defaults(func=_cmd_verify)
+
     p_xp = sub.add_parser("export", help="export run results as CSV/JSON")
     p_xp.add_argument("--workload", nargs="*", choices=workload_names(), help="default: all")
     p_xp.add_argument("--filter", choices=[k.value for k in FilterKind], default="none")
@@ -454,7 +567,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     p_bn.set_defaults(func=_cmd_bench)
 
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ValueError as exc:
+        # Config/trace validation errors are user errors, not crashes:
+        # one actionable line, distinct exit code.
+        print(f"configuration error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

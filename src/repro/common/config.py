@@ -39,10 +39,31 @@ class FilterKind(enum.Enum):
     ORACLE = "oracle"
     ADAPTIVE = "adaptive"
 
+    @classmethod
+    def from_name(cls, name: str) -> "FilterKind":
+        """Resolve a filter name with an actionable error on a typo."""
+        try:
+            return cls(str(name).strip().lower())
+        except ValueError:
+            known = ", ".join(kind.value for kind in cls)
+            raise ValueError(
+                f"unknown filter {name!r}: choose one of {known}"
+            ) from None
+
+
+#: Engine tiers :func:`repro.core.interval.make_engine` can build.  Kept
+#: here (the leaf of the import graph) so configs can be validated before
+#: any engine module is imported or any worker is spawned.
+KNOWN_ENGINES = ("pipeline", "interval", "vector")
+
 
 def _power_of_two(name: str, value: int) -> None:
     if value <= 0 or value & (value - 1):
-        raise ValueError(f"{name} must be a positive power of two, got {value}")
+        hint = ""
+        if value > 0:
+            below = 1 << (value.bit_length() - 1)
+            hint = f" (nearest valid: {below} or {below * 2})"
+        raise ValueError(f"{name} must be a positive power of two, got {value}{hint}")
 
 
 @dataclass(frozen=True)
@@ -237,14 +258,43 @@ class SimulationConfig:
     #: :mod:`repro.core.vector`).  An explicit ``engine=`` argument to
     #: :class:`~repro.core.simulator.Simulator` overrides this field.
     engine: str = "pipeline"
+    #: Opt-in runtime invariant checking (see :mod:`repro.sanitize`).
+    #: Deliberately excluded from cache fingerprints: sanitized runs are
+    #: bit-identical to unsanitized ones, so they share cached results.
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> "SimulationConfig":
+        """Check cross-field invariants; raise actionable errors, return self.
+
+        The sub-configs validate their own fields at construction; this
+        collects everything that spans fields or names external components
+        (engine tier, vector-engine feature support).  The CLI calls it on
+        the fully-derived config before spawning any worker so a bad
+        config fails in the parent with one clear message.
+        """
+        problems = []
         if self.warmup_instructions < 0:
-            raise ValueError("warmup must be non-negative")
+            problems.append("warmup must be non-negative")
         if self.max_instructions is not None and self.max_instructions <= self.warmup_instructions:
-            raise ValueError("max_instructions must exceed the warmup window")
-        if not self.engine or not isinstance(self.engine, str):
-            raise ValueError("engine must be a non-empty engine name")
+            problems.append(
+                f"max_instructions ({self.max_instructions}) must exceed the "
+                f"warmup window ({self.warmup_instructions})"
+            )
+        if not isinstance(self.engine, str) or self.engine not in KNOWN_ENGINES:
+            problems.append(
+                f"unknown engine {self.engine!r}: choose one of {', '.join(KNOWN_ENGINES)}"
+            )
+        if not isinstance(self.filter.kind, FilterKind):
+            problems.append(
+                f"filter kind must be a FilterKind, got {self.filter.kind!r} "
+                f"(use FilterKind.from_name(...) to resolve names)"
+            )
+        if problems:
+            raise ValueError("; ".join(problems))
+        return self
 
     # ------------------------------------------------------------------
     # Paper-configuration constructors
@@ -298,6 +348,9 @@ class SimulationConfig:
 
     def with_engine(self, engine: str) -> "SimulationConfig":
         return replace(self, engine=engine)
+
+    def with_sanitize(self, enabled: bool = True) -> "SimulationConfig":
+        return replace(self, sanitize=enabled)
 
     def describe(self) -> str:
         """Render the configuration as a Table 1-style text block."""

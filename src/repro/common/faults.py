@@ -41,6 +41,14 @@ Kinds and where they fire:
   degrades to ``raise`` so a serial test run cannot kill pytest.
 * ``corrupt-cache`` — returned to the call site, which garbles the
   just-written cache entry (exercises quarantine counters).
+* ``corrupt-artifact`` — returned to the call site, which rewrites the
+  just-written artifact (result-cache entry, trace ``.npz``, journal
+  line) as *structurally valid but wrong* bytes — only the embedded
+  sha256 digest can tell (exercises integrity-on-read + quarantine).
+* ``invariant-trip`` — returned to the sanitizer's check points, which
+  deliberately corrupt live model state and demand the very next
+  invariant sweep detect it (chaos-tests the sanitizer itself; see
+  :mod:`repro.sanitize`).
 * ``shm-unavailable`` — returned to the call site, which raises
   ``OSError`` from ``share_trace`` (exercises the no-shared-memory
   fallback).
@@ -70,7 +78,15 @@ FAULT_SEED_ENV = "REPRO_FAULT_SEED"
 #: hard-kill when they see it.
 _POOL_WORKER_ENV = "REPRO_POOL_WORKER"
 
-KINDS = ("raise", "hang", "exit", "corrupt-cache", "shm-unavailable")
+KINDS = (
+    "raise",
+    "hang",
+    "exit",
+    "corrupt-cache",
+    "corrupt-artifact",
+    "invariant-trip",
+    "shm-unavailable",
+)
 
 
 class FaultInjected(RuntimeError):

@@ -72,6 +72,25 @@ class SaturatingCounterArray:
         """
         return self.values[np.asarray(indices, dtype=np.int64)] >= self.threshold
 
+    def validate(self, site: str = "counters") -> None:
+        """Sanitizer audit: every counter within [0, max_value].
+
+        Vectorised (one numpy comparison over the whole array) so the
+        periodic sweep can afford it at any table size; names the first
+        escaping index for reproduction.
+        """
+        from repro.sanitize import SanitizerViolation
+
+        bad = np.nonzero(self.values > self.max_value)[0]
+        if len(bad):
+            index = int(bad[0])
+            raise SanitizerViolation(
+                site,
+                f"counter {index} holds {int(self.values[index])}, outside "
+                f"[0, {self.max_value}] ({len(bad)} counter(s) escaped)",
+                snapshot={"index": index, "value": int(self.values[index]), "max": self.max_value},
+            )
+
     # -- analysis helpers ------------------------------------------------
     def fraction_predicting_true(self) -> float:
         return float(np.mean(self.values >= self.threshold))

@@ -62,11 +62,18 @@ class IntervalEngine(OoOPipeline):
         prev_miss_index = -(10**9)
         prev_miss_tail = 0.0
 
+        sanitizer = self.sanitizer
+        san_interval = sanitizer.interval if sanitizer is not None else 0
+        san_next = san_interval if sanitizer is not None else -1
+
         for i in range(n):
             cls = int(iclass_col[i])
             now = int(i // issue_width + stall_cycles)
             if i == warmup and self.on_warmup is not None:
                 self.on_warmup(now)
+            if i == san_next:
+                sanitizer.periodic(self, now)
+                san_next += san_interval
 
             if cls == LOAD or cls == STORE:
                 addr = int(addr_col[i])
@@ -133,6 +140,8 @@ def make_engine(
         from repro.core.vector import VectorEngine
 
         return VectorEngine(config, hierarchy, filter_, classifier, stats)
+    from repro.common.config import KNOWN_ENGINES
+
     raise ValueError(
-        f"unknown engine kind {kind!r}; choose 'pipeline', 'interval' or 'vector'"
+        f"unknown engine kind {kind!r}; choose one of {', '.join(KNOWN_ENGINES)}"
     )

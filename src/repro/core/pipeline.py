@@ -43,6 +43,7 @@ from repro.prefetch.queue import PrefetchQueue
 from repro.prefetch.sdp import ShadowDirectoryPrefetcher
 from repro.prefetch.software import SoftwarePrefetchUnit
 from repro.prefetch.stride import StridePrefetcher
+from repro.sanitize import Sanitizer, sanitize_enabled
 from repro.trace.record import InstrClass
 from repro.trace.stream import Trace
 
@@ -106,6 +107,12 @@ class OoOPipeline:
         #: invoked (with the cycle count so far) when the warmup window ends,
         #: so the owner can snapshot counters and report post-warmup deltas.
         self.on_warmup = None
+
+        #: opt-in runtime invariant checking (:mod:`repro.sanitize`); None
+        #: keeps the hot loop at one extra integer compare per instruction.
+        self.sanitizer: Optional[Sanitizer] = (
+            Sanitizer(config) if sanitize_enabled(config) else None
+        )
 
         #: load-latency histogram buckets (cycles): L1 hits, L2-ish, memory-ish,
         #: worse (queueing/MSHR stalls).  Written into stats at end of run.
@@ -280,9 +287,18 @@ class OoOPipeline:
         sdp_confirm = sdp.confirm_use if sdp is not None else None
         stride_wants_address = self._stride_wants_address
 
+        # Sanitizer cadence: disabled runs keep san_next at -1, so the
+        # only hot-loop cost is one integer compare per instruction.
+        sanitizer = self.sanitizer
+        san_interval = sanitizer.interval if sanitizer is not None else 0
+        san_next = san_interval if sanitizer is not None else -1
+
         for i in range(n):
             if i == warmup and on_warmup is not None:
                 on_warmup(last_retire)
+            if i == san_next:
+                sanitizer.periodic(self, last_retire)
+                san_next += san_interval
             cls = iclass_col[i]
             is_mem = cls == LOAD or cls == STORE or cls == SW_PF
 

@@ -56,6 +56,42 @@ class RetirementWindow:
     def occupancy(self) -> int:
         return self._count
 
+    def validate(self, site: str = "window") -> None:
+        """Sanitizer audit: occupancy <= capacity, age-ordered ring.
+
+        Retirement times are computed in program order and in-order
+        retirement makes them non-decreasing, so the ring read
+        oldest-to-newest must be sorted — a violation means the head
+        pointer or a slot was corrupted and :meth:`constraint` would
+        release dispatch too early (unbounded out-of-order reach).
+        """
+        from repro.sanitize import SanitizerViolation
+
+        if not 0 <= self._count <= self.capacity:
+            raise SanitizerViolation(
+                site,
+                f"occupancy {self._count} outside [0, {self.capacity}]",
+                snapshot={"count": self._count, "capacity": self.capacity},
+            )
+        if not 0 <= self._head < self.capacity:
+            raise SanitizerViolation(
+                site,
+                f"head pointer {self._head} outside the {self.capacity}-slot ring",
+                snapshot={"head": self._head, "capacity": self.capacity},
+            )
+        previous = None
+        for age in range(self._count):
+            slot = (self._head - self._count + age) % self.capacity
+            t = self._times[slot]
+            if previous is not None and t < previous:
+                raise SanitizerViolation(
+                    site,
+                    f"retire time {t} at age {age} precedes older entry's "
+                    f"{previous}: program-order age invariant broken",
+                    snapshot={"age": age, "slot": slot, "time": t, "previous": previous},
+                )
+            previous = t
+
     def reset(self) -> None:
         self._head = 0
         self._count = 0

@@ -146,6 +146,11 @@ class Simulator:
             self.engine.on_warmup = on_warmup
 
         total_cycles = self.engine.run(trace)
+        # One deep invariant audit per run (all engine tiers), while the
+        # flush hooks are still bound — the stat-conservation check needs
+        # live batched counters to compare against.
+        if self.engine.sanitizer is not None:
+            self.engine.sanitizer.final(self.engine, total_cycles)
         # Fold all batched hot-path counters into the stats dicts and drop
         # the bound-method flush hooks: the result below carries ``stats``
         # across process boundaries (parallel runs, disk cache) and must be

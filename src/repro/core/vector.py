@@ -83,6 +83,7 @@ from repro.mem.bus import TransferKind
 from repro.mem.cache import FillSource
 from repro.prefetch.base import PrefetchRequest
 from repro.core.pipeline import OoOPipeline
+from repro.sanitize import SanitizerViolation
 from repro.trace.record import InstrClass
 from repro.trace.stream import Trace
 
@@ -681,16 +682,119 @@ class VectorEngine(OoOPipeline):
             stall = cum[0] * l2_lat + cum[1] * mem_lat
             return max(1, n_insts // cfg.processor.issue_width + stall // _MLP_DIVISOR)
 
+        # ---- sanitizer checks over the compact state ---------------------
+        # The compact flat-list cache is this engine's own re-implementation
+        # of the PIB/RIB machinery, so it gets its own invariant sweep (the
+        # object-based Cache.validate never sees these lists).
+        def check_state(pos: int) -> None:
+            for w in range(n1):
+                t = l1_tag[w]
+                if t == -1:
+                    continue
+                set_index = w if dm else w // W1
+                if (t & l1_mask) != set_index:
+                    raise SanitizerViolation(
+                        "vector.l1",
+                        f"way {w} holds line {t:#x}, which does not map to "
+                        f"set {set_index}: frame/tag desync",
+                        cycle=pos,
+                        snapshot={"way": w, "tag": t, "set": set_index},
+                    )
+                if l1_rib[w] and not l1_pib[w]:
+                    raise SanitizerViolation(
+                        "vector.l1",
+                        f"way {w}: RIB set without PIB — referenced bit "
+                        "without prefetch lineage",
+                        cycle=pos,
+                        snapshot={"way": w, "tag": t, "pib": l1_pib[w], "rib": l1_rib[w]},
+                    )
+                if bool(l1_pib[w]) != (l1_src[w] != 0):
+                    raise SanitizerViolation(
+                        "vector.l1",
+                        f"way {w}: PIB={l1_pib[w]} disagrees with fill "
+                        f"source {l1_src[w]}: prefetch lineage lost",
+                        cycle=pos,
+                        snapshot={"way": w, "tag": t, "pib": l1_pib[w], "source": l1_src[w]},
+                    )
+            if not dm:
+                for s in range(n1 // W1):
+                    b = s * W1
+                    resident = [t for t in l1_tag[b : b + W1] if t != -1]
+                    if len(resident) != len(set(resident)):
+                        raise SanitizerViolation(
+                            "vector.l1",
+                            f"duplicate tag in set {s}: the same line is "
+                            "resident in two ways",
+                            cycle=pos,
+                            snapshot={"set": s, "tags": resident},
+                        )
+            if is_table and tvals:
+                lo, hi = min(tvals), max(tvals)
+                if lo < 0 or hi > maxv:
+                    bad = hi if hi > maxv else lo
+                    index = tvals.index(bad)
+                    raise SanitizerViolation(
+                        "vector.history_table",
+                        f"counter {index} holds {bad}, outside [0, {maxv}]",
+                        cycle=pos,
+                        snapshot={"index": index, "value": bad, "max": maxv},
+                    )
+
+        def check_l2(pos: int) -> None:
+            for w in range(n2):
+                t = l2_tag[w]
+                if t != -1 and (t & l2_mask) != w // W2:
+                    raise SanitizerViolation(
+                        "vector.l2",
+                        f"way {w} holds line {t:#x}, which does not map to "
+                        f"set {w // W2}: frame/tag desync",
+                        cycle=pos,
+                        snapshot={"way": w, "tag": t, "set": w // W2},
+                    )
+
+        sanitizer = self.sanitizer
+
+        def drive(start: int, stop: int) -> None:
+            """Run a span; with the sanitizer on, sweep every ``interval``
+            memory ops (chunked outside simulate(), so the disabled path
+            pays nothing inside the hot loop)."""
+            if sanitizer is None:
+                if stop > start:
+                    simulate(start, stop)
+                return
+            pos = start
+            step = max(1, sanitizer.interval)
+            while pos < stop:
+                nxt = min(stop, pos + step)
+                simulate(pos, nxt)
+                tripped = sanitizer.fire_trip()
+                if tripped:
+                    # Deliberate RIB-without-PIB corruption in way 0 (tag 0
+                    # maps to set 0 in both dm and assoc layouts); the
+                    # check_state sweep below must catch it.
+                    l1_tag[0] = 0
+                    l1_pib[0] = 0
+                    l1_rib[0] = 1
+                    l1_src[0] = 0
+                check_state(nxt)
+                if tripped:  # pragma: no cover - reachable only if a check rots
+                    raise SanitizerViolation(
+                        "vector.sanitizer",
+                        "injected invariant trip went undetected",
+                        cycle=nxt,
+                    )
+                pos = nxt
+
         # ---- drive the spans ---------------------------------------------
         warmup = min(cfg.warmup_instructions, n)
         if warmup and warmup < n and self.on_warmup is not None:
             split = int(np.searchsorted(midx, warmup))
-            simulate(0, split)
+            drive(0, split)
             fold()
             self.on_warmup(estimate(warmup))
-            simulate(split, n_mem)
+            drive(split, n_mem)
         else:
-            simulate(0, n_mem)
+            drive(0, n_mem)
 
         # Final flush: classify still-resident prefetched lines exactly the
         # way Cache.flush does — feedback fires, eviction counters do not.
@@ -704,6 +808,10 @@ class VectorEngine(OoOPipeline):
                     row[_BAD] += 1
                 feedback(l1_tag[w], l1_tpc[w], vrib, l1_src[w], l1_fid[w])
         fold()
+
+        if sanitizer is not None:
+            check_state(n_mem)
+            check_l2(n_mem)
 
         cycles = estimate(n)
         self.stats.set("instructions", n)

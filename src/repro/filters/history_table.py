@@ -96,6 +96,10 @@ class HistoryTable:
     def reset(self) -> None:
         self.counters.fill(self._initial)
 
+    def validate(self) -> None:
+        """Sanitizer audit: all 2-bit counters still within range."""
+        self.counters.validate(site="history_table")
+
     # -- analysis -----------------------------------------------------------
     @property
     def storage_bytes(self) -> int:

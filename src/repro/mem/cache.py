@@ -188,6 +188,87 @@ class Cache:
         return self._occupancy
 
     # ------------------------------------------------------------------
+    # Invariant audit (sanitizer hook)
+    # ------------------------------------------------------------------
+    def _snapshot_line(self, set_index: int, way: int) -> dict:
+        line = self.sets[set_index][way]
+        return {
+            "set": set_index,
+            "way": way,
+            "tag": line.tag,
+            "valid": line.valid,
+            "pib": line.pib,
+            "rib": line.rib,
+            "source": line.source,
+            "trigger_pc": line.trigger_pc,
+        }
+
+    def validate(self) -> None:
+        """Audit every resident line against the paper's tag-bit invariants.
+
+        Checked: tag-to-set consistency, per-set tag uniqueness, PIB <=>
+        prefetch fill source, RIB => PIB (a referenced bit is only
+        meaningful on a prefetched line), and the batched occupancy
+        counter against the per-line truth.  Raises
+        :class:`~repro.sanitize.SanitizerViolation` on the first failure.
+        """
+        from repro.sanitize import SanitizerViolation
+
+        resident = 0
+        for set_index, entries in enumerate(self.sets):
+            seen_tags = set()
+            for way, line in enumerate(entries):
+                if not line.valid:
+                    continue
+                resident += 1
+                site = f"{self.name}.set{set_index}.way{way}"
+                snap = lambda: self._snapshot_line(set_index, way)
+                if line.tag < 0 or (line.tag & self._set_mask) != set_index:
+                    raise SanitizerViolation(
+                        site,
+                        f"tag {line.tag:#x} does not map to set {set_index} "
+                        f"(mask {self._set_mask:#x}): frame/tag desync",
+                        snapshot=snap(),
+                    )
+                if line.tag in seen_tags:
+                    raise SanitizerViolation(
+                        site,
+                        f"duplicate tag {line.tag:#x} in set {set_index}: "
+                        "the same line is resident in two ways",
+                        snapshot=snap(),
+                    )
+                seen_tags.add(line.tag)
+                try:
+                    is_prefetch = FillSource(line.source).is_prefetch
+                except ValueError:
+                    raise SanitizerViolation(
+                        site,
+                        f"fill source {line.source} is not a known FillSource",
+                        snapshot=snap(),
+                    ) from None
+                if line.pib != is_prefetch:
+                    raise SanitizerViolation(
+                        site,
+                        f"PIB={line.pib} disagrees with fill source "
+                        f"{FillSource(line.source).name}: prefetch lineage lost",
+                        snapshot=snap(),
+                    )
+                if line.rib and not line.pib:
+                    raise SanitizerViolation(
+                        site,
+                        "RIB set on a line without PIB: referenced bit "
+                        "without prefetch lineage",
+                        snapshot=snap(),
+                    )
+        if resident != self._occupancy:
+            raise SanitizerViolation(
+                f"{self.name}.occupancy",
+                f"occupancy counter {self._occupancy} != {resident} resident "
+                "lines: batched counter desynced from per-line truth",
+                snapshot={"occupancy": self._occupancy, "resident": resident},
+            )
+
+    # ------------------------------------------------------------------
     # Demand access
     # ------------------------------------------------------------------
     def access(self, line_addr: int, is_write: bool, now: int) -> tuple[bool, bool]:

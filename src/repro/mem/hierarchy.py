@@ -201,6 +201,22 @@ class MemoryHierarchy:
         return PrefetchOutcome(line_addr, ready, l2_hit)
 
     # ------------------------------------------------------------------
+    # Invariant audit (sanitizer hook)
+    # ------------------------------------------------------------------
+    def validate(self, now: int = 0, deep: bool = False) -> None:
+        """Audit the whole hierarchy; ``deep`` adds the full L2 scan.
+
+        The L1 (256 lines at paper defaults) is cheap enough for every
+        periodic sweep; the L2 (16K lines) is only worth scanning at
+        warmup boundaries and end of run, which is what ``deep`` gates.
+        """
+        self.l1.validate()
+        self.mshr.validate(now)
+        self.ports.validate()
+        if deep:
+            self.l2.validate()
+
+    # ------------------------------------------------------------------
     # End of run
     # ------------------------------------------------------------------
     def drain(self) -> None:

@@ -113,6 +113,33 @@ class MSHRFile:
         self._n_allocated += 1
         return ready, stalled
 
+    def validate(self, now: int = 0) -> None:
+        """Sanitizer audit: occupancy <= capacity, min-ready lower bound.
+
+        ``_min_ready`` must never exceed the true minimum — a stale-high
+        bound would make :meth:`_prune` skip completed entries forever,
+        silently shrinking the effective file and inventing structural
+        stalls.
+        """
+        from repro.sanitize import SanitizerViolation
+
+        if len(self._pending) > self.capacity:
+            raise SanitizerViolation(
+                "mshr",
+                f"{len(self._pending)} entries in flight exceed the "
+                f"{self.capacity}-entry file",
+                snapshot={"pending": len(self._pending), "capacity": self.capacity},
+            )
+        if self._pending:
+            true_min = min(self._pending.values())
+            if self._min_ready > true_min:
+                raise SanitizerViolation(
+                    "mshr",
+                    f"min-ready bound {self._min_ready} exceeds true minimum "
+                    f"{true_min}: pruning would skip completed fills",
+                    snapshot={"min_ready": self._min_ready, "true_min": true_min, "now": now},
+                )
+
     def clear(self) -> None:
         self._pending.clear()
         self._min_ready = 0

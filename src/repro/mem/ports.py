@@ -89,5 +89,29 @@ class PortArbiter:
         """First cycle at which any port is idle (queue-drain scheduling)."""
         return min(self._next_free)
 
+    def validate(self) -> None:
+        """Sanitizer audit: exactly ``num_ports`` grant slots, none negative.
+
+        Per-cycle grants cannot exceed the port count *by construction*
+        only while the ``_next_free`` vector stays one entry per port;
+        this is the structural check behind "port grants <= ports".
+        """
+        from repro.sanitize import SanitizerViolation
+
+        if len(self._next_free) != self.num_ports:
+            raise SanitizerViolation(
+                "ports",
+                f"{len(self._next_free)} grant slots for {self.num_ports} "
+                "ports: more grants per cycle than physical ports",
+                snapshot={"slots": len(self._next_free), "num_ports": self.num_ports},
+            )
+        for port, t in enumerate(self._next_free):
+            if t < 0:
+                raise SanitizerViolation(
+                    "ports",
+                    f"port {port} next-free timestamp {t} is negative",
+                    snapshot={"next_free": list(self._next_free)},
+                )
+
     def reset(self) -> None:
         self._next_free = [0] * self.num_ports

@@ -80,6 +80,33 @@ class PrefetchQueue:
         """Requests still waiting (end-of-run accounting)."""
         return [request for request, _ in self._q]
 
+    def validate(self) -> None:
+        """Sanitizer audit: occupancy <= capacity, FIFO age order.
+
+        Enqueue stamps must be non-decreasing head-to-tail — the queue
+        only ever appends at the tail and pops at the head, so an
+        out-of-order stamp means an entry was teleported or overwritten.
+        """
+        from repro.sanitize import SanitizerViolation
+
+        if len(self._q) > self.capacity:
+            raise SanitizerViolation(
+                "prefetch_queue",
+                f"{len(self._q)} queued requests exceed the "
+                f"{self.capacity}-entry queue",
+                snapshot={"occupancy": len(self._q), "capacity": self.capacity},
+            )
+        previous = None
+        for position, (_, enqueued) in enumerate(self._q):
+            if previous is not None and enqueued < previous:
+                raise SanitizerViolation(
+                    "prefetch_queue",
+                    f"entry {position} enqueued at {enqueued}, after an "
+                    f"entry enqueued at {previous}: FIFO age order broken",
+                    snapshot={"position": position, "stamps": [t for _, t in self._q]},
+                )
+            previous = enqueued
+
     def clear(self) -> int:
         """Drop everything still queued (end of run); returns the count."""
         n = len(self._q)

@@ -84,6 +84,23 @@ def trace_key(
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
+def trace_digest(trace: Trace) -> str:
+    """SHA-256 over the trace's column bytes and name.
+
+    Stored alongside the columns in every ``.npz`` and re-derived on
+    load, so a flipped bit that still parses as a valid archive (the
+    failure mode plain structural checks cannot see) is caught instead
+    of silently simulated.
+    """
+    h = hashlib.sha256()
+    h.update(trace.iclass.tobytes())
+    h.update(trace.pc.tobytes())
+    h.update(trace.addr.tobytes())
+    h.update(trace.taken.tobytes())
+    h.update(trace.name.encode())
+    return h.hexdigest()
+
+
 class TraceStore:
     """Content-addressed ``.npz`` store of generated traces.
 
@@ -126,6 +143,13 @@ class TraceStore:
                     data["taken"],
                     name=str(data["name"][()]),
                 )
+                # Integrity before structure: a missing digest (pre-digest
+                # file or foreign writer) raises KeyError and lands in the
+                # same quarantine path as a mismatch.
+                stored = str(data["digest"][()])
+                if stored != trace_digest(trace):
+                    raise ValueError("trace artifact digest mismatch")
+                trace.validate()
         except FileNotFoundError:
             self.misses += 1
             return None
@@ -145,6 +169,14 @@ class TraceStore:
         path = self._path(key)
         tmp = tmp_path_for(path)
         try:
+            digest = trace_digest(trace)
+            spec = fault_point("cache", key=key)
+            addr = trace.addr
+            if spec is not None and spec.kind == "corrupt-artifact" and len(addr):
+                # Structurally valid archive, stale digest: one line address
+                # nudged after digesting.  Only the digest check can see it.
+                addr = addr.copy()
+                addr[0] ^= np.uint64(64)
             # Serialise to memory first: np.savez appends ``.npz`` to
             # unknown suffixes, which would break the atomic rename.
             buf = io.BytesIO()
@@ -152,14 +184,14 @@ class TraceStore:
                 buf,
                 iclass=trace.iclass,
                 pc=trace.pc,
-                addr=trace.addr,
+                addr=addr,
                 taken=trace.taken,
                 name=np.asarray(trace.name),
+                digest=np.asarray(digest),
             )
             with open(tmp, "wb") as fh:
                 fh.write(buf.getvalue())
             os.replace(tmp, path)  # atomic: readers never see partial files
-            spec = fault_point("cache", key=key)
             if spec is not None and spec.kind == "corrupt-cache":
                 path.write_bytes(b"\x00 injected corruption")
         except OSError:

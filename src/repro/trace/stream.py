@@ -28,6 +28,46 @@ from repro.trace.record import (
 _PC_BASE = 0x0001_2000_0000
 _PC_STEP = 4  # Alpha-style fixed 4-byte instruction encoding
 
+_MAX_ICLASS = max(int(cls) for cls in InstrClass)
+
+
+def _as_column(values, dtype: np.dtype, column: str) -> np.ndarray:
+    """Coerce one trace column to its storage dtype, refusing silent wraps.
+
+    Signed-integer and float inputs can smuggle negatives (or NaN, or
+    out-of-range values) into an unsigned view, where they reappear as
+    enormous addresses that alias real cache sets.  Those dtypes are
+    scanned and rejected with the offending record index; unsigned/bool
+    inputs — every internal producer, including the zero-copy views from
+    ``head()`` and shared-memory attachment — skip the scan entirely.
+    """
+    arr = np.asarray(values)
+    kind = arr.dtype.kind
+    if kind == "f":
+        finite = np.isfinite(arr)
+        if not finite.all():
+            i = int(np.nonzero(~finite)[0][0])
+            raise ValueError(
+                f"trace column {column!r}: non-finite value {arr[i]} at record {i}"
+            )
+    if kind in "if":
+        neg = np.nonzero(arr < 0)[0]
+        if len(neg):
+            i = int(neg[0])
+            raise ValueError(
+                f"trace column {column!r}: negative value {arr[i]} at record {i} "
+                f"cannot be stored as {np.dtype(dtype).name}"
+            )
+        limit = np.iinfo(dtype).max
+        high = np.nonzero(arr > limit)[0]
+        if len(high):
+            i = int(high[0])
+            raise ValueError(
+                f"trace column {column!r}: value {arr[i]} at record {i} "
+                f"overflows {np.dtype(dtype).name} (max {limit})"
+            )
+    return np.ascontiguousarray(arr, dtype=dtype)
+
 
 @dataclass(frozen=True)
 class TraceSummary:
@@ -62,9 +102,9 @@ class Trace:
         n = len(iclass)
         if not (len(pc) == len(addr) == len(taken) == n):
             raise ValueError("trace columns must have equal length")
-        self.iclass = np.ascontiguousarray(iclass, dtype=np.uint8)
-        self.pc = np.ascontiguousarray(pc, dtype=np.uint64)
-        self.addr = np.ascontiguousarray(addr, dtype=np.uint64)
+        self.iclass = _as_column(iclass, np.uint8, "iclass")
+        self.pc = _as_column(pc, np.uint64, "pc")
+        self.addr = _as_column(addr, np.uint64, "addr")
         self.taken = np.ascontiguousarray(taken, dtype=np.bool_)
         self.name = name
 
@@ -86,6 +126,36 @@ class Trace:
     def head(self, n: int) -> "Trace":
         """First ``n`` records as a new trace (cheap numpy views)."""
         return Trace(self.iclass[:n], self.pc[:n], self.addr[:n], self.taken[:n], self.name)
+
+    def validate(self) -> "Trace":
+        """Reject semantically malformed records, naming the first offender.
+
+        Dtype coercion in ``__init__`` already blocks negatives and
+        overflow; this catches what well-typed columns can still encode:
+        instruction classes outside the enum and memory references with
+        no data address (which :class:`TraceRecord` forbids scalar-side).
+        Returns ``self`` so call sites can chain.
+        """
+        bad_cls = np.nonzero(self.iclass > _MAX_ICLASS)[0]
+        if len(bad_cls):
+            i = int(bad_cls[0])
+            raise ValueError(
+                f"trace {self.name!r}: unknown instruction class {int(self.iclass[i])} "
+                f"at record {i} (valid classes are 0..{_MAX_ICLASS})"
+            )
+        mem_mask = (
+            (self.iclass == LOAD.value)
+            | (self.iclass == STORE.value)
+            | (self.iclass == SW_PREFETCH.value)
+        )
+        no_addr = np.nonzero(mem_mask & (self.addr == 0))[0]
+        if len(no_addr):
+            i = int(no_addr[0])
+            cls = InstrClass(int(self.iclass[i])).name
+            raise ValueError(
+                f"trace {self.name!r}: {cls} at record {i} has no data address"
+            )
+        return self
 
     # -- aggregate views -------------------------------------------------
     def class_counts(self) -> Dict[InstrClass, int]:
@@ -121,6 +191,18 @@ class Trace:
 
     @classmethod
     def from_structured(cls, arr: np.ndarray, name: str = "") -> "Trace":
+        # External structured dumps may carry an explicit per-instruction
+        # ``id`` column; dynamic ids must be strictly increasing or the
+        # engines' program order is meaningless.
+        if arr.dtype.names and "id" in arr.dtype.names:
+            ids = arr["id"].astype(np.int64)
+            stuck = np.nonzero(np.diff(ids) <= 0)[0]
+            if len(stuck):
+                i = int(stuck[0]) + 1
+                raise ValueError(
+                    f"trace instruction ids must be strictly increasing: "
+                    f"record {i} has id {int(ids[i])} after {int(ids[i - 1])}"
+                )
         return cls(arr["iclass"], arr["pc"], arr["addr"], arr["taken"], name)
 
     def to_bytes(self) -> bytes:

@@ -1,0 +1,32 @@
+#!/usr/bin/env python
+"""Regenerate the golden-run corpus in this directory.
+
+Run after an *intentional* model change (and a MODEL_VERSION bump):
+
+    python tests/golden/regen.py
+
+Each record locks the full counter vector of one (workload, filter,
+engine) run at the corpus' default instruction budget and seed;
+``repro-sim verify`` and the tier-1 golden test replay them and demand
+bit-identical counters.
+"""
+
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+SRC = HERE.parents[1] / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.sanitize.differential import write_corpus  # noqa: E402
+
+
+def main() -> int:
+    for path in write_corpus(HERE):
+        print(f"wrote {path.relative_to(HERE.parents[1])}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
