@@ -13,6 +13,9 @@ Subcommands::
     repro-sim export --workload gcc --filter pa --format csv
     repro-sim bench --workload em3d --runs 5 --workers 0
     repro-sim bench --engines pipeline vector --insts 200000
+    repro-sim bench --lint --runs 3
+    repro-sim lint
+    repro-sim lint --update-baseline
 
 Exists so the simulator can be driven without writing Python — handy for
 quick sanity checks and for regenerating individual paper rows.
@@ -251,7 +254,7 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
-def _bench_engines(args: argparse.Namespace) -> int:
+def _bench_engines(args: argparse.Namespace, lint_health: dict | None = None) -> int:
     """The ``bench --engines`` axis: per-run engine speedups + counter gaps.
 
     Times every (workload, filter) cell under each requested engine,
@@ -375,6 +378,8 @@ def _bench_engines(args: argparse.Namespace) -> int:
             if values
         },
     }
+    if lint_health is not None:
+        report["lint"] = lint_health
     out = args.out or "BENCH_vector.json"
     with open(out, "w") as fh:
         json.dump(report, fh, indent=1)
@@ -388,6 +393,27 @@ def _bench_engines(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """``repro-sim lint``: forward to the analyzer's own argument parser."""
+    from repro.lint import main as lint_main
+
+    return lint_main(args.lint_args)
+
+
+def _lint_health() -> dict:
+    """Static-analyzer counters for the ``bench --lint`` health gate."""
+    from repro.lint import apply_baseline, default_repo_root, lint_tree, load_baseline
+    from repro.lint.baseline import DEFAULT_BASELINE_NAME
+
+    root = default_repo_root()
+    result = apply_baseline(lint_tree(root), load_baseline(root / DEFAULT_BASELINE_NAME))
+    return {
+        "new": len(result.new),
+        "accepted": len(result.accepted),
+        "stale_baseline": len(result.stale),
+    }
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     import json
     import time
@@ -395,8 +421,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.analysis.parallel import SimulationJob, default_workers, run_jobs
     from repro.analysis.result_cache import ResultCache
 
+    # Lint health gate: a sweep about to burn hours of CPU can assert the
+    # tree passes static analysis first, and the report records the counts.
+    lint_health = None
+    if args.lint:
+        lint_health = _lint_health()
+        if lint_health["new"] or lint_health["stale_baseline"]:
+            print(
+                f"bench: static analysis is dirty ({lint_health['new']} new "
+                f"finding(s), {lint_health['stale_baseline']} stale baseline "
+                "entr(y/ies)) — run `repro-sim lint` and fix before benching",
+                file=sys.stderr,
+            )
+            return 1
+
     if args.engines:
-        return _bench_engines(args)
+        return _bench_engines(args, lint_health)
 
     workload = args.workload or "em3d"
     cfg = _finalize(
@@ -461,6 +501,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         report["warm_cache_seconds"] = round(t_warm, 3)
         report["warm_cache_speedup"] = round(t_serial / t_warm, 1) if t_warm else None
         report["cache"] = cache_stats
+    if lint_health is not None:
+        report["lint"] = lint_health
 
     if args.json:
         print(json.dumps(report, indent=1))
@@ -471,6 +513,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Forwarded verbatim before argparse sees it: the analyzer owns its
+    # whole flag surface (argparse's REMAINDER refuses leading --flags).
+    if argv[:1] == ["lint"]:
+        from repro.lint import main as lint_main
+
+        return lint_main(argv[1:])
     parser = argparse.ArgumentParser(prog="repro-sim", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -563,8 +612,24 @@ def main(argv: Sequence[str] | None = None) -> int:
         "time the trace store cold vs warm; writes --out (BENCH_vector.json)",
     )
     p_bn.add_argument("--out", help="engine-axis report path (default: BENCH_vector.json)")
+    p_bn.add_argument(
+        "--lint", action="store_true",
+        help="run the static analyzer first and refuse to bench a dirty tree; "
+        "the report gains a 'lint' health-counter block",
+    )
     _add_common(p_bn)
     p_bn.set_defaults(func=_cmd_bench)
+
+    p_ln = sub.add_parser(
+        "lint",
+        help="AST-based simulator-invariant static analyzer (RL001-RL006)",
+        add_help=False,
+    )
+    p_ln.add_argument(
+        "lint_args", nargs=argparse.REMAINDER,
+        help="arguments forwarded to the analyzer (same as python -m repro.lint)",
+    )
+    p_ln.set_defaults(func=_cmd_lint)
 
     args = parser.parse_args(argv)
     try:

@@ -88,6 +88,21 @@ KINDS = (
     "shm-unavailable",
 )
 
+#: The auditable fault-site registry: every ``fault_point("<site>")``
+#: literal in the tree must appear here with a one-line description of
+#: the real-world failure it models, and every registered site must be
+#: exercised by at least one test plan (``<kind>@<site>`` under
+#: ``tests/``).  Lint rule RL004 enforces both directions, and
+#: :func:`parse_faults` rejects plans naming unknown sites so a typo in
+#: ``REPRO_FAULTS`` fails loudly instead of injecting nothing.
+SITES = {
+    "worker": "a sweep job crashing, hanging, or hard-exiting inside a pool worker",
+    "cache": "a result-cache entry corrupted on disk between write and read",
+    "shm": "the POSIX shared-memory facility being unavailable on the host",
+    "journal": "a run-journal line corrupted between append and --resume replay",
+    "sanitizer": "live model state corrupted immediately before an invariant sweep",
+}
+
 
 class FaultInjected(RuntimeError):
     """Raised at an injection site by ``raise`` (and serial ``exit``) faults."""
@@ -140,7 +155,12 @@ def parse_faults(text: str) -> Tuple[FaultSpec, ...]:
         kind = kind.strip()
         if kind not in KINDS:
             raise ValueError(f"unknown fault kind {kind!r}; known: {KINDS}")
-        fields = {"kind": kind, "site": site.strip() or "worker"}
+        site = site.strip() or "worker"
+        if site not in SITES:
+            raise ValueError(
+                f"unknown fault site {site!r}; registered sites: {sorted(SITES)}"
+            )
+        fields = {"kind": kind, "site": site}
         if opts:
             for pair in opts.split(","):
                 name, _, value = pair.partition("=")

@@ -47,7 +47,10 @@ class StaticProfile:
 
     def polluting_pcs(self, threshold: float) -> frozenset[int]:
         out = set()
-        for pc in set(self.good) | set(self.bad):
+        # sorted(): set iteration order depends on hash seeding/insertion
+        # history, and deterministic replay (result cache, golden corpus)
+        # requires every state update to be order-stable.
+        for pc in sorted(set(self.good) | set(self.bad)):
             frac = self.bad_fraction(pc)
             if frac is not None and frac > threshold:
                 out.add(pc)

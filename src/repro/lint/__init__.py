@@ -1,0 +1,221 @@
+"""``repro.lint`` — AST-based static analysis for simulator invariants.
+
+The runtime layers added across PRs 1-4 (result cache, process-pool
+fan-out, batched stats, fault injection, runtime sanitizer) each rest on
+a cross-cutting contract that is cheap to break in review and expensive
+to debug in a sweep.  This package checks those contracts *statically*:
+it parses the tree under ``src/repro`` with :mod:`ast` — no repository
+code is imported or executed — and reports findings with stable
+fingerprints that a committed baseline can grandfather.
+
+Rules (see ``docs/architecture.md`` for the contributor table):
+
+========  ==========================================================
+RL001     hot-path determinism (no clock/RNG/unordered-set iteration)
+RL002     process-pool safety (picklable payloads only)
+RL003     stat-flush discipline (batched ``_n_*`` counters fold+zero)
+RL004     fault-site registry (registered, documented, tested sites)
+RL005     config/CLI coverage (no dead knobs, no dead flags)
+RL006     sanitizer wiring (every ``validate()`` reachable from the walk)
+========  ==========================================================
+
+Entry points: ``repro-sim lint`` and ``python -m repro.lint``; both
+share :func:`main`.  Suppression: ``# repro-lint: disable=RL001`` on the
+line, ``# repro-lint: disable-file=RL001`` for a module, or a baseline
+entry (``lint-baseline.json``) with a written reason.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.lint.baseline import (
+    DEFAULT_BASELINE_NAME,
+    BaselineEntry,
+    BaselineResult,
+    apply_baseline,
+    load_baseline,
+    save_baseline,
+    updated_entries,
+)
+from repro.lint.core import (
+    Finding,
+    Project,
+    Rule,
+    all_rules,
+    load_project,
+    run_rules,
+)
+
+__all__ = [
+    "Finding",
+    "Project",
+    "Rule",
+    "all_rules",
+    "apply_baseline",
+    "default_repo_root",
+    "lint_tree",
+    "load_baseline",
+    "load_project",
+    "main",
+    "run_rules",
+]
+
+
+def default_repo_root() -> Path:
+    """The repository root inferred from this file's location.
+
+    The package lives at ``<root>/src/repro/lint``; when that layout
+    does not hold (an installed wheel), fall back to the working
+    directory so ``--root`` remains the escape hatch.
+    """
+    candidate = Path(__file__).resolve().parents[3]
+    if (candidate / "src" / "repro").is_dir():
+        return candidate
+    return Path.cwd()
+
+
+def lint_tree(
+    repo_root: Optional[Path] = None,
+    rule_ids: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Run the analyzer over a repository tree and return raw findings."""
+    root = repo_root if repo_root is not None else default_repo_root()
+    project = load_project(root)
+    return run_rules(project, rule_ids)
+
+
+def _render_text(result: BaselineResult, show_accepted: bool) -> str:
+    lines: List[str] = []
+    for finding in result.new:
+        lines.append(finding.render())
+    if show_accepted:
+        for finding in result.accepted:
+            lines.append(f"{finding.render()}  (baseline)")
+    for entry in result.stale:
+        lines.append(
+            f"lint-baseline: E stale entry {entry.fingerprint} no longer matches "
+            "any finding — remove it (repro-sim lint --update-baseline)"
+        )
+    counts = (
+        f"{len(result.new)} finding(s), {len(result.accepted)} baseline-accepted, "
+        f"{len(result.stale)} stale baseline entr(y/ies)"
+    )
+    lines.append(counts)
+    return "\n".join(lines)
+
+
+def _render_json(result: BaselineResult) -> str:
+    payload = {
+        "findings": [f.as_dict() for f in result.new],
+        "accepted": [f.as_dict() for f in result.accepted],
+        "stale_baseline": [e.as_dict() for e in result.stale],
+        "counts": {
+            "new": len(result.new),
+            "accepted": len(result.accepted),
+            "stale": len(result.stale),
+        },
+    }
+    return json.dumps(payload, indent=1)
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule_id, rule_cls in sorted(all_rules().items()):
+        lines.append(f"{rule_id}  [{rule_cls.severity:7s}] {rule_cls.title}")
+        lines.append(f"        {rule_cls.rationale}")
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim lint",
+        description="AST-based simulator-invariant static analyzer (RL001-RL006)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="repository root containing src/repro and tests/ (default: auto-detect)",
+    )
+    parser.add_argument(
+        "--format", choices=["text", "json"], default="text", help="output format"
+    )
+    parser.add_argument(
+        "--rules", nargs="+", metavar="RLnnn", default=None,
+        help="run only these rule ids (default: all)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help=f"baseline file (default: <root>/{DEFAULT_BASELINE_NAME})",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline: report every finding as new",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from current findings (keeps reasons for "
+        "surviving fingerprints; new entries get a TODO reason to fill in)",
+    )
+    parser.add_argument(
+        "--show-accepted", action="store_true",
+        help="also print baseline-accepted findings",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Shared driver for ``repro-sim lint`` and ``python -m repro.lint``.
+
+    Exit codes: 0 clean (every finding baseline-accepted, no stale
+    entries), 1 findings or stale baseline entries, 2 usage error.
+    """
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    root = args.root if args.root is not None else default_repo_root()
+    baseline_path = (
+        args.baseline if args.baseline is not None else root / DEFAULT_BASELINE_NAME
+    )
+    try:
+        findings = lint_tree(root, args.rules)
+        entries: List[BaselineEntry] = (
+            [] if args.no_baseline else load_baseline(baseline_path)
+        )
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"lint error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        new_entries, added, removed = updated_entries(findings, entries)
+        save_baseline(baseline_path, new_entries)
+        print(
+            f"baseline updated: {len(new_entries)} entr(y/ies) "
+            f"(+{added}, -{removed}) -> {baseline_path}"
+        )
+        todo = [e for e in new_entries if e.reason.startswith("TODO")]
+        if todo:
+            print(
+                f"{len(todo)} new entr(y/ies) need a written reason before commit:",
+                file=sys.stderr,
+            )
+            for entry in todo:
+                print(f"  {entry.fingerprint}", file=sys.stderr)
+        return 0
+
+    result = apply_baseline(findings, entries)
+    if args.format == "json":
+        print(_render_json(result))
+    else:
+        print(_render_text(result, args.show_accepted))
+    return 1 if (result.new or result.stale) else 0

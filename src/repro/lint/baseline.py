@@ -1,0 +1,114 @@
+"""Committed-baseline handling for grandfathered lint findings.
+
+The baseline file (``lint-baseline.json`` at the repository root) holds
+the fingerprints of findings that are *known and accepted*: modelled
+machine parameters the simulator deliberately does not consume, and
+similar documented exceptions.  Each entry carries a mandatory
+``reason`` so the file reads as a list of justified debts, not a dumping
+ground.  The CI gate fails on any finding **not** in the baseline, and
+also on any baseline entry that no longer matches a finding — a fixed
+finding must shrink the file (``repro-sim lint --update-baseline``
+rewrites it, preserving reasons for surviving fingerprints).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.lint.core import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding: its stable fingerprint plus a human reason."""
+
+    fingerprint: str
+    reason: str = ""
+
+    def as_dict(self) -> Dict[str, str]:
+        return {"fingerprint": self.fingerprint, "reason": self.reason}
+
+
+@dataclass
+class BaselineResult:
+    """The three-way split of findings against a baseline."""
+
+    new: List[Finding]
+    accepted: List[Finding]
+    stale: List[BaselineEntry]
+
+
+def load_baseline(path: Path) -> List[BaselineEntry]:
+    """Read a baseline file; a missing file is an empty baseline."""
+    if not path.exists():
+        return []
+    data = json.loads(path.read_text())
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: not a version-{BASELINE_VERSION} lint baseline "
+            "(regenerate with `repro-sim lint --update-baseline`)"
+        )
+    entries: List[BaselineEntry] = []
+    for raw in data.get("entries", []):
+        if not isinstance(raw, dict) or "fingerprint" not in raw:
+            raise ValueError(f"{path}: malformed baseline entry {raw!r}")
+        entries.append(BaselineEntry(str(raw["fingerprint"]), str(raw.get("reason", ""))))
+    return entries
+
+
+def save_baseline(path: Path, entries: Sequence[BaselineEntry]) -> None:
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": [e.as_dict() for e in sorted(entries, key=lambda e: e.fingerprint)],
+    }
+    path.write_text(json.dumps(payload, indent=1) + "\n")
+
+
+def apply_baseline(
+    findings: Sequence[Finding], entries: Sequence[BaselineEntry]
+) -> BaselineResult:
+    """Split findings into (new, accepted) and report stale entries.
+
+    A baseline entry may match several findings with the same
+    fingerprint (e.g. two call sites inside one function); it is stale
+    only when it matches none.
+    """
+    by_fp: Dict[str, BaselineEntry] = {e.fingerprint: e for e in entries}
+    matched: Set[str] = set()
+    new: List[Finding] = []
+    accepted: List[Finding] = []
+    for finding in findings:
+        entry = by_fp.get(finding.fingerprint)
+        if entry is None:
+            new.append(finding)
+        else:
+            matched.add(entry.fingerprint)
+            accepted.append(finding)
+    stale = [e for e in entries if e.fingerprint not in matched]
+    return BaselineResult(new=new, accepted=accepted, stale=stale)
+
+
+def updated_entries(
+    findings: Sequence[Finding], previous: Sequence[BaselineEntry]
+) -> Tuple[List[BaselineEntry], int, int]:
+    """Baseline rewrite: current findings, reasons carried over when known.
+
+    Returns ``(entries, added, removed)`` so the CLI can report how the
+    baseline moved.
+    """
+    reasons = {e.fingerprint: e.reason for e in previous}
+    fingerprints = sorted({f.fingerprint for f in findings})
+    entries = [
+        BaselineEntry(fp, reasons.get(fp, "TODO: justify or fix"))
+        for fp in fingerprints
+    ]
+    previous_fps = set(reasons)
+    added = len([fp for fp in fingerprints if fp not in previous_fps])
+    removed = len([fp for fp in previous_fps if fp not in set(fingerprints)])
+    return entries, added, removed

@@ -1,0 +1,845 @@
+"""The six repo-specific invariant rules, RL001-RL006.
+
+Each rule encodes one cross-cutting contract that the runtime layers
+(result cache, process pool, stat registry, fault harness, sanitizer)
+*assume* but cannot themselves enforce at review time.  The rule table
+in ``docs/architecture.md`` is the contributor-facing reference; the
+docstrings here are the authoritative statement of what is checked.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.core import (
+    Finding,
+    ModuleInfo,
+    Project,
+    Rule,
+    call_name,
+    class_methods,
+    dotted_name,
+    find_classes,
+    iter_with_symbols,
+    register,
+    self_attr_target,
+    string_value,
+)
+
+#: Packages whose modules run inside the simulation hot loop.  The
+#: result cache and golden corpus assume a run is a pure function of
+#: (config, trace, seed); nondeterminism anywhere in these packages
+#: silently breaks that assumption.
+HOT_PACKAGES = ("repro.core", "repro.mem", "repro.filters", "repro.prefetch")
+
+#: Call targets that submit work across the process boundary (RL002).
+POOL_SUBMIT_NAMES = frozenset({"run_jobs", "execute_batch"})
+
+#: The module that must declare the fault-site registry (RL004).
+FAULTS_MODULE = "repro.common.faults"
+
+#: The module that must declare the sanitizer check-walk manifest (RL006).
+SANITIZE_MODULE = "repro.sanitize"
+
+#: The module holding the machine-configuration dataclasses (RL005).
+CONFIG_MODULE = "repro.common.config"
+
+#: The CLI front end (RL005's flag-coverage half).
+CLI_MODULE = "repro.cli"
+
+
+def _yield(finding: Optional[Finding]) -> Iterator[Finding]:
+    if finding is not None:
+        yield finding
+
+
+# ======================================================================
+# RL001 — determinism in hot paths
+# ======================================================================
+@register
+class DeterminismRule(Rule):
+    """No wall-clock, global RNG, or unordered-set iteration in hot paths.
+
+    A simulation result is cached, journaled, golden-replayed and
+    compared across engines under the promise that the same (config,
+    trace, seed) always produces bit-identical counters.  ``random``,
+    ``time``/``datetime`` reads, ``numpy``'s *global* RNG, and
+    iteration over unordered sets (hash order varies with PYTHONHASHSEED
+    for str/bytes keys, and with insertion history in general) all break
+    that promise invisibly.
+    """
+
+    id = "RL001"
+    title = "hot-path determinism"
+    severity = "error"
+    rationale = "result cache / golden corpus need runs to be pure in config+trace+seed"
+
+    _BANNED_IMPORTS = {"random", "time", "datetime"}
+    _BANNED_CALLS = {
+        "time.time", "time.perf_counter", "time.monotonic", "time.process_time",
+        "datetime.now", "datetime.utcnow", "datetime.today",
+        "datetime.datetime.now", "datetime.datetime.utcnow",
+    }
+    #: Stateful global-RNG entry points (seeded `default_rng(seed)` is fine).
+    _BANNED_NP_RANDOM = {
+        "random", "rand", "randn", "randint", "choice", "shuffle",
+        "permutation", "normal", "uniform", "seed",
+    }
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for mod in project.in_packages(HOT_PACKAGES):
+            yield from self._check_module(mod)
+
+    def _check_module(self, mod: ModuleInfo) -> Iterator[Finding]:
+        for node, symbol in iter_with_symbols(mod.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in self._BANNED_IMPORTS:
+                        yield from _yield(self.finding(
+                            mod, node.lineno,
+                            f"import of nondeterministic module {alias.name!r} in a "
+                            "hot-path package (seeded inputs only)",
+                            symbol=f"import.{alias.name}",
+                        ))
+            elif isinstance(node, ast.ImportFrom):
+                root = (node.module or "").split(".")[0]
+                if root in self._BANNED_IMPORTS:
+                    yield from _yield(self.finding(
+                        mod, node.lineno,
+                        f"import from nondeterministic module {node.module!r} in a "
+                        "hot-path package (seeded inputs only)",
+                        symbol=f"import.{node.module}",
+                    ))
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name in self._BANNED_CALLS:
+                    yield from _yield(self.finding(
+                        mod, node.lineno,
+                        f"call to {name}() makes the run depend on the wall clock",
+                        symbol=f"{symbol}:{name}",
+                    ))
+                elif self._is_global_np_random(name):
+                    yield from _yield(self.finding(
+                        mod, node.lineno,
+                        f"numpy global-RNG call {name}() bypasses the run seed "
+                        "(use a seeded np.random.default_rng instead)",
+                        symbol=f"{symbol}:{name}",
+                    ))
+            elif isinstance(node, (ast.For, ast.comprehension)):
+                iterable = node.iter
+                if self._is_unordered_set_expr(iterable):
+                    yield from _yield(self.finding(
+                        mod, iterable.lineno,
+                        "iteration over an unordered set: wrap in sorted(...) so "
+                        "downstream state updates are order-stable",
+                        symbol=f"{symbol}:set-iteration",
+                    ))
+
+    def _is_global_np_random(self, name: str) -> bool:
+        parts = name.split(".")
+        return (
+            len(parts) == 3
+            and parts[0] in ("np", "numpy")
+            and parts[1] == "random"
+            and parts[2] in self._BANNED_NP_RANDOM
+        )
+
+    def _is_unordered_set_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and call_name(node) in ("set", "frozenset"):
+            return True
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self._is_unordered_set_expr(node.left) or self._is_unordered_set_expr(
+                node.right
+            )
+        return False
+
+
+# ======================================================================
+# RL002 — process-pool safety
+# ======================================================================
+@register
+class PoolSafetyRule(Rule):
+    """Nothing unpicklable may flow into a pool submission.
+
+    ``run_jobs``/``execute_batch`` pickle their payloads into worker
+    processes.  Lambdas and nested closures fail to pickle at runtime —
+    in the middle of a sweep, after the cheap jobs already ran.  The
+    rule also flags pool-layer classes that stash OS handles
+    (``open(...)``, ``threading``/``multiprocessing`` locks) on ``self``
+    without a ``__reduce__``/``__getstate__`` override, since those
+    objects poison any payload they end up inside.
+    """
+
+    id = "RL002"
+    title = "process-pool safety"
+    severity = "error"
+    rationale = "pool payloads must pickle; failures surface mid-sweep otherwise"
+
+    #: Modules whose classes are on (or next to) the process boundary.
+    _BOUNDARY_MODULES = (
+        "repro.analysis.parallel",
+        "repro.analysis.resilience",
+    )
+    _HANDLE_FACTORIES = {
+        "open",
+        "Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore", "Event",
+        "threading.Lock", "threading.RLock", "threading.Condition",
+        "multiprocessing.Lock", "multiprocessing.RLock",
+        "socket.socket",
+    }
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for mod in project.modules:
+            yield from self._check_submissions(mod)
+        for mod_name in self._BOUNDARY_MODULES:
+            mod = project.module(mod_name)
+            if mod is not None:
+                yield from self._check_handle_state(mod)
+
+    def _check_submissions(self, mod: ModuleInfo) -> Iterator[Finding]:
+        for node, symbol in iter_with_symbols(mod.tree):
+            if not isinstance(node, ast.Call) or call_name(node) not in POOL_SUBMIT_NAMES:
+                continue
+            target = call_name(node)
+            args = list(node.args) + [kw.value for kw in node.keywords]
+            for arg in args:
+                for sub in ast.walk(arg):
+                    if isinstance(sub, ast.Lambda):
+                        yield from _yield(self.finding(
+                            mod, sub.lineno,
+                            f"lambda passed into {target}(): lambdas cannot cross "
+                            "the process boundary (define a module-level function)",
+                            symbol=f"{symbol}:{target}:lambda",
+                        ))
+                    elif isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        yield from _yield(self.finding(
+                            mod, sub.lineno,
+                            f"nested function {sub.name!r} passed into {target}(): "
+                            "closures cannot cross the process boundary",
+                            symbol=f"{symbol}:{target}:{sub.name}",
+                        ))
+
+    def _check_handle_state(self, mod: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            methods = class_methods(node)
+            if "__reduce__" in methods or "__getstate__" in methods:
+                continue
+            for method in methods.values():
+                for stmt in ast.walk(method):
+                    if not isinstance(stmt, ast.Assign):
+                        continue
+                    value = stmt.value
+                    if not isinstance(value, ast.Call):
+                        continue
+                    factory = dotted_name(value.func) or call_name(value)
+                    if factory not in self._HANDLE_FACTORIES:
+                        continue
+                    for target in stmt.targets:
+                        attr = self_attr_target(target)
+                        if attr is None:
+                            continue
+                        yield from _yield(self.finding(
+                            mod, stmt.lineno,
+                            f"{node.name}.{attr} holds a live {factory}() handle in a "
+                            "pool-boundary module without __reduce__/__getstate__: "
+                            "it will poison any pickled payload it reaches",
+                            symbol=f"{node.name}.{attr}",
+                        ))
+
+    # docs helper: the boundary-module tuple is part of the contract
+    @classmethod
+    def boundary_modules(cls) -> Tuple[str, ...]:
+        return cls._BOUNDARY_MODULES
+
+
+# ======================================================================
+# RL003 — batched-stat flush discipline
+# ======================================================================
+@register
+class StatDisciplineRule(Rule):
+    """Every batched ``_n_*`` counter is folded (and zeroed) by a flush hook.
+
+    Hot-path models batch event counts in plain ``_n_*`` integer
+    attributes and register a flush hook via ``bind_flush`` that folds
+    them into the stats dict.  Three failure modes are checked:
+
+    * a class bumps ``self._n_x`` but never registers a flush hook — the
+      count silently never reaches the stats tree;
+    * a registered hook omits one of the class's ``_n_*`` attributes —
+      that one counter is dropped at every read;
+    * a hook folds without zeroing — reads double-count (the runtime
+      ``check_flush_idempotent`` sanitizer catches this late; the lint
+      catches it at review).
+
+    Plus one project-level check: ``detach_flush`` must be called under
+    ``repro.core`` so stats trees become plain data before pickling.
+    """
+
+    id = "RL003"
+    title = "stat-flush discipline"
+    severity = "error"
+    rationale = "unflushed counters silently vanish; unzeroed hooks double-count"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for mod, cls in find_classes(project):
+            yield from self._check_class(mod, cls)
+        yield from self._check_detach(project)
+
+    def _check_class(self, mod: ModuleInfo, cls: ast.ClassDef) -> Iterator[Finding]:
+        methods = class_methods(cls)
+        hooks = self._bound_hooks(cls)
+        batched = self._batched_attrs(cls, exclude=set(hooks))
+        if not hooks:
+            if batched:
+                attr, line = sorted(batched.items())[0]
+                yield from _yield(self.finding(
+                    mod, line,
+                    f"{cls.name} batches {len(batched)} _n_* counter(s) "
+                    f"(e.g. {attr}) but never calls bind_flush: they will "
+                    "never reach the stats tree",
+                    symbol=f"{cls.name}:no-hook",
+                ))
+            return
+        for hook_name, bind_line in hooks.items():
+            hook = methods.get(hook_name)
+            if hook is None:
+                yield from _yield(self.finding(
+                    mod, bind_line,
+                    f"{cls.name} binds flush hook {hook_name!r} which is not "
+                    "defined in the class body",
+                    symbol=f"{cls.name}.{hook_name}:missing",
+                ))
+                continue
+            mentioned = self._hook_mentions(hook)
+            zeroed = self._hook_zeroes(hook)
+            for attr, line in sorted(batched.items()):
+                if attr not in mentioned:
+                    yield from _yield(self.finding(
+                        mod, line,
+                        f"{cls.name}.{attr} is batched on the hot path but "
+                        f"never folded by {hook_name}(): the counter is "
+                        "dropped at every stats read",
+                        symbol=f"{cls.name}.{attr}:unflushed",
+                    ))
+                elif attr not in zeroed:
+                    yield from _yield(self.finding(
+                        mod, hook.lineno,
+                        f"{hook_name}() folds {cls.name}.{attr} without zeroing "
+                        "it: consecutive reads double-count (non-idempotent hook)",
+                        symbol=f"{cls.name}.{attr}:not-zeroed",
+                    ))
+
+    def _bound_hooks(self, cls: ast.ClassDef) -> Dict[str, int]:
+        """``{hook_method_name: bind line}`` for every bind_flush call."""
+        hooks: Dict[str, int] = {}
+        for node in ast.walk(cls):
+            if (
+                isinstance(node, ast.Call)
+                and call_name(node) == "bind_flush"
+                and node.args
+            ):
+                attr = self_attr_target(node.args[0])
+                if attr is not None:
+                    hooks.setdefault(attr, node.lineno)
+        return hooks
+
+    def _batched_attrs(self, cls: ast.ClassDef, exclude: Set[str]) -> Dict[str, int]:
+        """Every ``self._n_*`` attribute the class touches outside its hooks."""
+        batched: Dict[str, int] = {}
+        for item in cls.body:
+            if not isinstance(item, ast.FunctionDef) or item.name in exclude:
+                continue
+            for node in ast.walk(item):
+                targets: List[ast.expr] = []
+                if isinstance(node, ast.AugAssign):
+                    targets = [node.target]
+                elif isinstance(node, ast.Assign):
+                    targets = list(node.targets)
+                for target in targets:
+                    attr = self_attr_target(target)
+                    if attr is not None and attr.startswith("_n_"):
+                        batched.setdefault(attr, node.lineno)
+        return batched
+
+    def _hook_mentions(self, hook: ast.FunctionDef) -> Set[str]:
+        """Attribute names the hook folds: ``self._n_x`` or the string "_n_x"."""
+        mentioned: Set[str] = set()
+        for node in ast.walk(hook):
+            if isinstance(node, ast.Attribute) and node.attr.startswith("_n_"):
+                mentioned.add(node.attr)
+            name = string_value(node)
+            if name is not None and name.startswith("_n_"):
+                mentioned.add(name)
+        return mentioned
+
+    def _hook_zeroes(self, hook: ast.FunctionDef) -> Set[str]:
+        """Attributes the hook resets: ``self._n_x = 0`` or ``setattr(.., 0)``.
+
+        A ``setattr(self, attr, 0)`` in a loop over ``(key, attr)`` pairs
+        (the table-driven hook idiom) zeroes every attribute named by a
+        string literal in the hook, so those all count.
+        """
+        zeroed: Set[str] = set()
+        table_zero = False
+        for node in ast.walk(hook):
+            if isinstance(node, ast.Assign):
+                value = node.value
+                if isinstance(value, ast.Constant) and value.value == 0:
+                    for target in node.targets:
+                        # self._n_x = 0, or self._n_x[key] = 0 (per-key dict
+                        # counters, e.g. one slot per TransferKind).
+                        if isinstance(target, ast.Subscript):
+                            target = target.value
+                        attr = self_attr_target(target)
+                        if attr is not None:
+                            zeroed.add(attr)
+            elif isinstance(node, ast.Call) and call_name(node) == "setattr":
+                if (
+                    len(node.args) == 3
+                    and isinstance(node.args[2], ast.Constant)
+                    and node.args[2].value == 0
+                ):
+                    table_zero = True
+        if table_zero:
+            zeroed |= self._hook_mentions(hook)
+        return zeroed
+
+    def _check_detach(self, project: Project) -> Iterator[Finding]:
+        for mod in project.in_packages(("repro.core",)):
+            for node in ast.walk(mod.tree):
+                if isinstance(node, ast.Call) and call_name(node) == "detach_flush":
+                    return
+        mod = project.module("repro.core.simulator") or (
+            project.modules[0] if project.modules else None
+        )
+        if mod is None:
+            return
+        yield from _yield(self.finding(
+            mod, 1,
+            "no detach_flush call anywhere under repro.core: stats trees "
+            "keep hooks into live models and cannot cross the pool boundary",
+            symbol="core:detach_flush-missing",
+        ))
+
+
+# ======================================================================
+# RL004 — fault-site registry
+# ======================================================================
+@register
+class FaultSiteRule(Rule):
+    """Every ``fault_point("<site>")`` literal is registered, documented, tested.
+
+    The chaos harness only proves what it exercises.  A fault site that
+    is not in :data:`repro.common.faults.SITES` is invisible to the
+    docs; a registered site with no ``@site`` reference in any test is a
+    resilience promise nobody keeps; a dynamic (non-literal) site string
+    cannot be audited at all.
+    """
+
+    id = "RL004"
+    title = "fault-site registry"
+    severity = "error"
+    rationale = "unregistered/untested fault sites are resilience promises nobody keeps"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        faults_mod = project.module(FAULTS_MODULE)
+        registry = self._registered_sites(faults_mod) if faults_mod else None
+        if registry is None:
+            mod = faults_mod or (project.modules[0] if project.modules else None)
+            if mod is not None:
+                yield from _yield(self.finding(
+                    mod, 1,
+                    f"{FAULTS_MODULE} does not define a SITES registry dict "
+                    "(site -> description): fault sites cannot be audited",
+                    symbol="SITES:missing",
+                ))
+            return
+        sites, registry_line = registry
+
+        used: Dict[str, Tuple[ModuleInfo, int]] = {}
+        for mod in project.modules:
+            if mod.name == "repro.lint" or mod.name.startswith("repro.lint."):
+                continue
+            for node in ast.walk(mod.tree):
+                if not isinstance(node, ast.Call) or call_name(node) != "fault_point":
+                    continue
+                if not node.args:
+                    continue
+                site = string_value(node.args[0])
+                if site is None:
+                    yield from _yield(self.finding(
+                        mod, node.lineno,
+                        "fault_point() with a non-literal site string: sites "
+                        "must be auditable constants",
+                        symbol="fault_point:dynamic-site",
+                    ))
+                    continue
+                used.setdefault(site, (mod, node.lineno))
+                if site not in sites:
+                    yield from _yield(self.finding(
+                        mod, node.lineno,
+                        f"fault site {site!r} is not registered in "
+                        f"{FAULTS_MODULE}.SITES: add it with a one-line "
+                        "description of what failure it models",
+                        symbol=f"site:{site}:unregistered",
+                    ))
+
+        exercised = self._exercised_sites(project, sites)
+        for site in sorted(sites):
+            if site not in used and faults_mod is not None:
+                yield from _yield(self.finding(
+                    faults_mod, registry_line,
+                    f"registered fault site {site!r} has no fault_point() call "
+                    "site left in the tree: remove the stale registry entry",
+                    symbol=f"site:{site}:stale",
+                ))
+            if site in used and site not in exercised:
+                mod, line = used[site]
+                yield from _yield(self.finding(
+                    mod, line,
+                    f"fault site {site!r} is never exercised by a test "
+                    f"(no '@{site}' fault plan under tests/)",
+                    symbol=f"site:{site}:untested",
+                ))
+
+    def _registered_sites(
+        self, faults_mod: ModuleInfo
+    ) -> Optional[Tuple[Dict[str, str], int]]:
+        for node in ast.walk(faults_mod.tree):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            else:
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id == "SITES":
+                    if not isinstance(value, ast.Dict):
+                        return None
+                    sites: Dict[str, str] = {}
+                    for key, val in zip(value.keys, value.values):
+                        k = string_value(key) if key is not None else None
+                        v = string_value(val)
+                        if k is not None:
+                            sites[k] = v or ""
+                    return sites, node.lineno
+        return None
+
+    def _exercised_sites(self, project: Project, sites: Dict[str, str]) -> Set[str]:
+        exercised: Set[str] = set()
+        corpus = "\n".join(project.test_sources.values())
+        for site in sites:
+            if f"@{site}" in corpus:
+                exercised.add(site)
+        return exercised
+
+
+# ======================================================================
+# RL005 — config / CLI coverage
+# ======================================================================
+@register
+class ConfigCoverageRule(Rule):
+    """Every config field is consumed; every CLI flag is read.
+
+    A ``SimulationConfig`` field nothing reads is a knob that silently
+    does nothing — sweeps over it burn CPU and produce identical rows.
+    A field counts as covered when some module outside ``config.py``
+    reads it, or when a derivation property inside ``config.py`` that
+    *is* read outside consumes it (transitively).  Likewise every CLI
+    ``--flag`` must be read back off ``args`` somewhere in the CLI, or
+    it is a dead promise in ``--help``.
+    """
+
+    id = "RL005"
+    title = "config/CLI coverage"
+    severity = "error"
+    rationale = "an unread config field or CLI flag is a knob that silently does nothing"
+
+    #: Methods inside config.py that do not count as consumption: pure
+    #: validation and the human-readable dump read every field by design.
+    _NON_CONSUMING = frozenset({"__post_init__", "validate", "describe"})
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        cfg_mod = project.module(CONFIG_MODULE)
+        if cfg_mod is not None:
+            yield from self._check_fields(project, cfg_mod)
+        cli_mod = project.module(CLI_MODULE)
+        if cli_mod is not None:
+            yield from self._check_flags(cli_mod)
+
+    # -- config fields -------------------------------------------------
+    def _check_fields(self, project: Project, cfg_mod: ModuleInfo) -> Iterator[Finding]:
+        fields = self._dataclass_fields(cfg_mod)
+        outside_reads = self._outside_attribute_reads(project, cfg_mod)
+        internal_readers = self._internal_readers(cfg_mod)
+
+        # Fixpoint: a config.py method/property is "live" when its name is
+        # read outside, or when a live method reads it (its value flows out
+        # through that method — e.g. size_bytes -> num_lines -> num_sets).
+        live: Set[str] = {m for m in internal_readers if m in outside_reads}
+        changed = True
+        while changed:
+            changed = False
+            for method in list(live):
+                for read in internal_readers.get(method, ()):
+                    if read in internal_readers and read not in live:
+                        live.add(read)
+                        changed = True
+
+        for (cls_name, field_name), line in sorted(fields.items()):
+            if field_name in outside_reads:
+                continue
+            consumed_via = [
+                m for m, reads in internal_readers.items()
+                if field_name in reads and m in live
+            ]
+            if consumed_via:
+                continue
+            yield from _yield(self.finding(
+                cfg_mod, line,
+                f"config field {cls_name}.{field_name} is never read outside "
+                "config.py (nor by any derivation property that is): wire it "
+                "into a model or delete the knob",
+                symbol=f"{cls_name}.{field_name}",
+            ))
+
+    def _dataclass_fields(self, cfg_mod: ModuleInfo) -> Dict[Tuple[str, str], int]:
+        fields: Dict[Tuple[str, str], int] = {}
+        for node in ast.walk(cfg_mod.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            decorated = any(
+                (isinstance(d, ast.Name) and d.id == "dataclass")
+                or (isinstance(d, ast.Call) and call_name(d) == "dataclass")
+                for d in node.decorator_list
+            )
+            if not decorated:
+                continue
+            for item in node.body:
+                if (
+                    isinstance(item, ast.AnnAssign)
+                    and isinstance(item.target, ast.Name)
+                    and not item.target.id.startswith("_")
+                ):
+                    ann = ast.dump(item.annotation)
+                    if "ClassVar" in ann:
+                        continue
+                    fields[(node.name, item.target.id)] = item.lineno
+        return fields
+
+    def _outside_attribute_reads(self, project: Project, cfg_mod: ModuleInfo) -> Set[str]:
+        reads: Set[str] = set()
+        for mod in project.modules:
+            if mod.name == cfg_mod.name:
+                continue
+            for node in ast.walk(mod.tree):
+                if isinstance(node, ast.Attribute):
+                    reads.add(node.attr)
+                elif isinstance(node, ast.Call) and call_name(node) == "getattr":
+                    # getattr(config, "field", default) is a read too.
+                    if len(node.args) >= 2:
+                        name = string_value(node.args[1])
+                        if name is not None:
+                            reads.add(name)
+        return reads
+
+    def _internal_readers(self, cfg_mod: ModuleInfo) -> Dict[str, Set[str]]:
+        """``{method_name: {self attributes it reads}}`` inside config.py."""
+        readers: Dict[str, Set[str]] = {}
+        for node in ast.walk(cfg_mod.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for item in node.body:
+                if not isinstance(item, ast.FunctionDef):
+                    continue
+                if item.name in self._NON_CONSUMING:
+                    continue
+                reads = readers.setdefault(item.name, set())
+                for sub in ast.walk(item):
+                    if (
+                        isinstance(sub, ast.Attribute)
+                        and isinstance(sub.value, ast.Name)
+                        and sub.value.id == "self"
+                    ):
+                        reads.add(sub.attr)
+        return readers
+
+    # -- CLI flags ------------------------------------------------------
+    def _check_flags(self, cli_mod: ModuleInfo) -> Iterator[Finding]:
+        read_dests = self._args_reads(cli_mod)
+        for node in ast.walk(cli_mod.tree):
+            if not isinstance(node, ast.Call) or call_name(node) != "add_argument":
+                continue
+            dest, flag, line = self._flag_dest(node)
+            if dest is None or flag is None:
+                continue
+            if dest not in read_dests:
+                yield from _yield(self.finding(
+                    cli_mod, line,
+                    f"CLI flag {flag} is declared but args.{dest} is never "
+                    "read: the flag is a dead promise in --help",
+                    symbol=f"flag:{flag}",
+                ))
+
+    def _flag_dest(
+        self, node: ast.Call
+    ) -> Tuple[Optional[str], Optional[str], int]:
+        flag: Optional[str] = None
+        for arg in node.args:
+            value = string_value(arg)
+            if value is not None and value.startswith("--"):
+                flag = value
+                break
+        if flag is None:
+            return None, None, node.lineno
+        dest = flag.lstrip("-").replace("-", "_")
+        for kw in node.keywords:
+            if kw.arg == "dest":
+                explicit = string_value(kw.value)
+                if explicit is not None:
+                    dest = explicit
+        return dest, flag, node.lineno
+
+    def _args_reads(self, cli_mod: ModuleInfo) -> Set[str]:
+        reads: Set[str] = set()
+        for node in ast.walk(cli_mod.tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id in ("args", "_args")
+            ):
+                reads.add(node.attr)
+            elif isinstance(node, ast.Call) and call_name(node) == "getattr":
+                if len(node.args) >= 2:
+                    name = string_value(node.args[1])
+                    if name is not None:
+                        reads.add(name)
+        return reads
+
+
+# ======================================================================
+# RL006 — sanitizer wiring
+# ======================================================================
+@register
+class SanitizerWiringRule(Rule):
+    """Every ``validate()``-bearing class is wired into the sanitizer walk.
+
+    The runtime sanitizer only audits what its check walk reaches.  The
+    manifest :data:`repro.sanitize.CHECK_WALK` maps every class that
+    defines ``validate()`` to the module whose walk invokes it; this
+    rule keeps the manifest complete (a class that grows ``validate()``
+    without being wired in fails), non-stale (manifest keys must resolve
+    to a real class with a real ``validate``), and honest (the named
+    driver module must actually contain a ``.validate(`` call).
+    """
+
+    id = "RL006"
+    title = "sanitizer wiring"
+    severity = "error"
+    rationale = "a validate() the sanitizer never reaches is a dead invariant"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        sanitize_mod = project.module(SANITIZE_MODULE)
+        manifest = self._manifest(sanitize_mod) if sanitize_mod else None
+        if manifest is None:
+            mod = sanitize_mod or (project.modules[0] if project.modules else None)
+            if mod is not None:
+                yield from _yield(self.finding(
+                    mod, 1,
+                    f"{SANITIZE_MODULE} does not define a CHECK_WALK manifest "
+                    "dict ('module.Class' -> driver module): sanitizer "
+                    "coverage cannot be audited",
+                    symbol="CHECK_WALK:missing",
+                ))
+            return
+        entries, manifest_line = manifest
+
+        validators = self._validator_classes(project)
+
+        for key, (mod, cls) in sorted(validators.items()):
+            if key not in entries:
+                yield from _yield(self.finding(
+                    mod, cls.lineno,
+                    f"{cls.name} defines validate() but is not wired into "
+                    f"{SANITIZE_MODULE}.CHECK_WALK: the sanitizer never "
+                    "reaches this invariant",
+                    symbol=f"{key}:unwired",
+                ))
+
+        for key, driver in sorted(entries.items()):
+            if key not in validators:
+                assert sanitize_mod is not None
+                yield from _yield(self.finding(
+                    sanitize_mod, manifest_line,
+                    f"CHECK_WALK entry {key!r} does not resolve to a class "
+                    "defining validate(): remove or fix the stale entry",
+                    symbol=f"{key}:stale",
+                ))
+                continue
+            driver_mod = project.module(driver)
+            if driver_mod is None:
+                assert sanitize_mod is not None
+                yield from _yield(self.finding(
+                    sanitize_mod, manifest_line,
+                    f"CHECK_WALK driver module {driver!r} for {key} does not exist",
+                    symbol=f"{key}:bad-driver",
+                ))
+                continue
+            if not self._calls_validate(driver_mod):
+                assert sanitize_mod is not None
+                yield from _yield(self.finding(
+                    sanitize_mod, manifest_line,
+                    f"CHECK_WALK names {driver} as the walk that reaches "
+                    f"{key}, but that module contains no .validate() call",
+                    symbol=f"{key}:driver-no-call",
+                ))
+
+    def _manifest(
+        self, sanitize_mod: ModuleInfo
+    ) -> Optional[Tuple[Dict[str, str], int]]:
+        for node in ast.walk(sanitize_mod.tree):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            else:
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id == "CHECK_WALK":
+                    if not isinstance(value, ast.Dict):
+                        return None
+                    entries: Dict[str, str] = {}
+                    for key, val in zip(value.keys, value.values):
+                        k = string_value(key) if key is not None else None
+                        v = string_value(val)
+                        if k is not None and v is not None:
+                            entries[k] = v
+                    return entries, node.lineno
+        return None
+
+    def _validator_classes(
+        self, project: Project
+    ) -> Dict[str, Tuple[ModuleInfo, ast.ClassDef]]:
+        validators: Dict[str, Tuple[ModuleInfo, ast.ClassDef]] = {}
+        for mod, cls in find_classes(project):
+            if mod.name == "repro.lint" or mod.name.startswith("repro.lint."):
+                continue
+            if "validate" in class_methods(cls):
+                validators[f"{mod.name}.{cls.name}"] = (mod, cls)
+        return validators
+
+    def _calls_validate(self, mod: ModuleInfo) -> bool:
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.Call) and call_name(node) == "validate":
+                return True
+        return False

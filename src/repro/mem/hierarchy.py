@@ -90,6 +90,7 @@ class MemoryHierarchy:
         self._l2_latency = config.l2.latency
         self._memory_latency = config.memory_latency
         self._l1_writeback = config.l1.writeback
+        self._l1_write_allocate = config.l1.write_allocate
 
     # ------------------------------------------------------------------
     # Internal fill plumbing
@@ -151,9 +152,14 @@ class MemoryHierarchy:
         l2_data_at, l2_hit = self._fetch_into_l2(line, grant + l1_lat, TransferKind.DEMAND_FILL)
         self.l1_bus.transfer(TransferKind.DEMAND_FILL, grant)
         ready, stalled = self.mshr.allocate(line, l2_data_at, grant)
-        evicted = l1.fill(line, grant, FillSource.DEMAND, dirty=is_write and self._l1_writeback)
-        if evicted is not None:
-            self._l1_writeback_sink(evicted, grant)
+        if is_write and not self._l1_write_allocate:
+            # No-write-allocate (write-around): the store updates the line
+            # in the L2 and the L1 is left untouched; only reads allocate.
+            self.l2.access(line, True, grant)
+        else:
+            evicted = l1.fill(line, grant, FillSource.DEMAND, dirty=is_write and self._l1_writeback)
+            if evicted is not None:
+                self._l1_writeback_sink(evicted, grant)
         return AccessResult(
             line, grant, ready, False, l2_hit, False, nsp_tag_hit, False, mshr_stalled=stalled
         )

@@ -62,6 +62,28 @@ class TestDemandPath:
         h.demand_access(0x40 + 512, False, 300)  # conflicts, evicts dirty line
         assert h.l1_bus.lines(TransferKind.WRITEBACK) == 1
 
+    def test_write_allocate_fills_l1_on_write_miss(self):
+        h = small_hierarchy()  # write_allocate=True is the paper default
+        h.demand_access(0x40, True, 0)
+        assert h.demand_access(0x40, False, 300).l1_hit
+
+    def test_no_write_allocate_writes_around_l1(self):
+        cfg = HierarchyConfig(
+            l1=CacheConfig(
+                size_bytes=512, line_bytes=32, assoc=1, latency=1, ports=2,
+                write_allocate=False,
+            ),
+            l2=CacheConfig(size_bytes=4096, line_bytes=32, assoc=4, latency=15),
+            memory_latency=150,
+            mshr_entries=8,
+        )
+        h = MemoryHierarchy(cfg)
+        h.demand_access(0x40, True, 0)  # write miss: L1 stays untouched...
+        later = h.demand_access(0x40, False, 300)
+        assert not later.l1_hit and later.l2_hit is True  # ...but the L2 has it
+        h.demand_access(0x80, False, 600)  # read misses still allocate
+        assert h.demand_access(0x80, False, 900).l1_hit
+
 
 class TestPrefetchPath:
     def test_duplicate_detection(self):
