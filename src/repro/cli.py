@@ -13,6 +13,7 @@ Subcommands::
     repro-sim export --workload gcc --filter pa --format csv
     repro-sim bench --workload em3d --runs 5 --workers 0
     repro-sim bench --engines pipeline vector --insts 200000
+    repro-sim bench --engines pipeline,vector,kernel --insts 200000
     repro-sim bench --lint --runs 3
     repro-sim lint
     repro-sim lint --update-baseline
@@ -29,7 +30,7 @@ from typing import Sequence
 
 from repro.analysis.report import Table
 from repro.analysis.sweep import compare_filters, run_workload
-from repro.common.config import FilterKind, SimulationConfig
+from repro.common.config import KNOWN_ENGINES, FilterKind, SimulationConfig
 from repro.workloads import workload_names
 
 
@@ -38,7 +39,7 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
         "--engine",
-        choices=["pipeline", "interval", "vector"],
+        choices=list(KNOWN_ENGINES),
         default=None,
         help="simulation engine (default: the config's engine, i.e. pipeline)",
     )
@@ -184,8 +185,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _cmd_verify(args: argparse.Namespace) -> int:
     """Cross-engine differential oracle + golden corpus replay.
 
-    Exit 0 only when every parity cell passes the documented tolerance
-    AND every golden record replays bit-identically (unless skipped).
+    Three gates, all of which must pass for exit 0: pipeline-vs-vector
+    parity within the documented tolerance, vector-vs-kernel parity
+    bit-for-bit (the kernel tier lowers the vector model, so any drift
+    at all is a porting bug), and the golden corpus replay (unless
+    skipped).
     """
     from pathlib import Path
 
@@ -215,6 +219,25 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                         f"    {d.key}: pipeline {d.pipeline} vs vector {d.vector} "
                         f"(rel {d.rel:.3f}, abs {d.delta})"
                     )
+
+    for workload in args.workload:
+        for name in args.filter:
+            kind = FilterKind.from_name(name)
+            exact = diff.run_kernel_parity(
+                workload, kind, n_insts=args.insts, seed=args.seed,
+                sanitize=not args.no_sanitize,
+            )
+            tag = f"{workload}/{name}"
+            if exact.ok:
+                print(
+                    f"kernel {tag:14s} ok    "
+                    f"(bit-identical to vector, mode={exact.kernel_mode})"
+                )
+            else:
+                failed = True
+                print(f"kernel {tag:14s} FAIL  (mode={exact.kernel_mode})")
+                for mismatch in exact.mismatches:
+                    print(f"    {mismatch}")
 
     if not args.no_golden:
         directory = Path(args.golden) if args.golden else diff.default_golden_dir()
@@ -262,8 +285,17 @@ def _bench_engines(args: argparse.Namespace, lint_health: dict | None = None) ->
     against the first engine listed (the reference, normally the
     pipeline), and times the trace store cold (synthesise + save) versus
     warm (load).  The report lands in ``--out`` (default
-    ``BENCH_vector.json``) — it is the documented-tolerance artefact the
-    vector engine's fidelity contract points at.
+    ``BENCH_vector.json``, or ``BENCH_kernel.json`` when the kernel
+    engine is benched) — it is the documented-tolerance artefact the
+    batch engines' fidelity contracts point at.
+
+    Timing discipline for JIT/compiled engines: the first run of a
+    compiled engine pays one-off costs (numba compilation or loading the
+    cached C kernel) that would skew a timed rep, so every (engine,
+    workload) pair gets one *untimed* warm-up run before any timed rep.
+    Warm-up durations are recorded separately in the report's
+    ``warmup`` health block — compile cost is visible, never silently
+    folded into (or hidden from) the speedup numbers.
     """
     import json
     import math
@@ -298,6 +330,17 @@ def _bench_engines(args: argparse.Namespace, lint_health: dict | None = None) ->
             best = min(best, time.perf_counter() - t0)
         return best, result
 
+    # One untimed warm-up per (engine, workload) before any timed rep:
+    # a compiled engine's first run carries JIT/compile/load cost.
+    warmup_seconds: dict[str, dict[str, float]] = {e: {} for e in args.engines}
+
+    def warm_up(workload: str, cfg: SimulationConfig, engine: str, trace) -> None:
+        if workload in warmup_seconds[engine]:
+            return
+        t0 = time.perf_counter()
+        run_workload(workload, cfg, args.insts, args.seed, engine, trace=trace)
+        warmup_seconds[engine][workload] = round(time.perf_counter() - t0, 4)
+
     rows = []
     speedups: dict[str, list[float]] = {e: [] for e in args.engines[1:]}
     for workload in workloads:
@@ -306,6 +349,7 @@ def _bench_engines(args: argparse.Namespace, lint_health: dict | None = None) ->
             cfg = _finalize(SimulationConfig.paper_default(FilterKind(filter_name)), args)
             seconds, counters, deltas = {}, {}, {}
             for engine in args.engines:
+                warm_up(workload, cfg, engine, trace)
                 seconds[engine], result = best_time(workload, cfg, engine, trace)
                 counters[engine] = counters_of(result)
             row = {
@@ -365,6 +409,15 @@ def _bench_engines(args: argparse.Namespace, lint_health: dict | None = None) ->
         "seed": args.seed,
         "engines": list(args.engines),
         "reference_engine": reference,
+        # Compile/JIT warm-up cost, kept out of the timed reps: the first
+        # workload's warm-up absorbs any one-off compilation.
+        "warmup": {
+            engine: {
+                "per_workload_seconds": per,
+                "total_seconds": round(sum(per.values()), 4),
+            }
+            for engine, per in warmup_seconds.items()
+        },
         "rows": rows,
         "trace_store": store_rows,
         "trace_store_stats": store.stats,
@@ -378,9 +431,13 @@ def _bench_engines(args: argparse.Namespace, lint_health: dict | None = None) ->
             if values
         },
     }
+    if "kernel" in args.engines:
+        from repro.core.kernel import select_mode
+
+        report["kernel_mode"] = select_mode()
     if lint_health is not None:
         report["lint"] = lint_health
-    out = args.out or "BENCH_vector.json"
+    out = args.out or ("BENCH_kernel.json" if "kernel" in args.engines else "BENCH_vector.json")
     with open(out, "w") as fh:
         json.dump(report, fh, indent=1)
         fh.write("\n")
@@ -436,6 +493,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             return 1
 
     if args.engines:
+        # Accept both `--engines a b` and `--engines a,b,c`; validated here
+        # (not via argparse choices) so the comma form gets the same message.
+        args.engines = [e for part in args.engines for e in part.split(",") if e]
+        unknown = [e for e in args.engines if e not in KNOWN_ENGINES]
+        if unknown:
+            raise ValueError(
+                f"unknown engine(s) {', '.join(unknown)}; "
+                f"choose from {', '.join(KNOWN_ENGINES)}"
+            )
         return _bench_engines(args, lint_health)
 
     workload = args.workload or "em3d"
@@ -567,11 +633,12 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     p_vf = sub.add_parser(
         "verify",
-        help="differential oracle: pipeline-vs-vector parity + golden corpus replay",
+        help="differential oracle: pipeline-vs-vector parity, vector-vs-kernel "
+        "bit-identity + golden corpus replay",
     )
     p_vf.add_argument(
         "--workload", nargs="+", choices=workload_names(), default=["em3d", "mcf"],
-        help="workloads to run through both engines (default: em3d mcf)",
+        help="workloads to run through the engines (default: em3d mcf)",
     )
     p_vf.add_argument(
         "--filter", nargs="+", default=["none", "pa", "pc"],
@@ -606,12 +673,17 @@ def main(argv: Sequence[str] | None = None) -> int:
     p_bn.add_argument("--cache-dir", help="result-cache directory (default: REPRO_CACHE_DIR or ~/.cache/repro)")
     p_bn.add_argument("--json", action="store_true", help="emit the report as JSON")
     p_bn.add_argument(
-        "--engines", nargs="+", choices=["pipeline", "interval", "vector"],
-        help="engine-axis bench: time each engine per (workload, filter) cell, "
-        "record speedups and counter deltas vs the first engine listed, and "
-        "time the trace store cold vs warm; writes --out (BENCH_vector.json)",
+        "--engines", nargs="+",
+        help="engine-axis bench: time each engine per (workload, filter) cell "
+        f"({', '.join(KNOWN_ENGINES)}; space- or comma-separated), record "
+        "speedups and counter deltas vs the first engine listed, and time the "
+        "trace store cold vs warm; writes --out (BENCH_vector.json, or "
+        "BENCH_kernel.json when the kernel engine is included)",
     )
-    p_bn.add_argument("--out", help="engine-axis report path (default: BENCH_vector.json)")
+    p_bn.add_argument(
+        "--out",
+        help="engine-axis report path (default: BENCH_vector.json / BENCH_kernel.json)",
+    )
     p_bn.add_argument(
         "--lint", action="store_true",
         help="run the static analyzer first and refuse to bench a dirty tree; "

@@ -54,7 +54,7 @@ class FilterKind(enum.Enum):
 #: Engine tiers :func:`repro.core.interval.make_engine` can build.  Kept
 #: here (the leaf of the import graph) so configs can be validated before
 #: any engine module is imported or any worker is spawned.
-KNOWN_ENGINES = ("pipeline", "interval", "vector")
+KNOWN_ENGINES = ("pipeline", "interval", "vector", "kernel")
 
 
 def _power_of_two(name: str, value: int) -> None:
@@ -253,10 +253,13 @@ class SimulationConfig:
     #: paper's 300M-instruction runs where cold-start effects vanish.
     warmup_instructions: int = 0
     #: Simulation engine tier: ``"pipeline"`` (timing-accurate, default),
-    #: ``"interval"`` (closed-form timing), or ``"vector"`` (batch
+    #: ``"interval"`` (closed-form timing), ``"vector"`` (batch
     #: functional replay — classification-accurate, no real timing; see
-    #: :mod:`repro.core.vector`).  An explicit ``engine=`` argument to
-    #: :class:`~repro.core.simulator.Simulator` overrides this field.
+    #: :mod:`repro.core.vector`), or ``"kernel"`` (the vector semantics
+    #: lowered to compiled flat-array kernels, bit-identical counters at
+    #: sweep scale; see :mod:`repro.core.kernel`).  An explicit
+    #: ``engine=`` argument to :class:`~repro.core.simulator.Simulator`
+    #: overrides this field.
     engine: str = "pipeline"
     #: Opt-in runtime invariant checking (see :mod:`repro.sanitize`).
     #: Deliberately excluded from cache fingerprints: sanitized runs are

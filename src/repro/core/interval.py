@@ -131,7 +131,8 @@ def make_engine(
     classifier: PrefetchClassifier,
     stats: Optional[StatGroup] = None,
 ) -> OoOPipeline:
-    """Engine factory: ``"pipeline"`` (default), ``"interval"`` or ``"vector"``."""
+    """Engine factory: ``"pipeline"`` (default), ``"interval"``,
+    ``"vector"`` or ``"kernel"``."""
     if kind == "pipeline":
         return OoOPipeline(config, hierarchy, filter_, classifier, stats)
     if kind == "interval":
@@ -140,6 +141,10 @@ def make_engine(
         from repro.core.vector import VectorEngine
 
         return VectorEngine(config, hierarchy, filter_, classifier, stats)
+    if kind == "kernel":
+        from repro.core.kernel import KernelEngine
+
+        return KernelEngine(config, hierarchy, filter_, classifier, stats)
     from repro.common.config import KNOWN_ENGINES
 
     raise ValueError(

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Callable, Iterator, List, Optional
 
 from repro.common.config import CacheConfig
@@ -111,9 +112,6 @@ class Cache:
         self._ways = config.ways
         self._set_mask = self._num_sets - 1
         self._offset_bits = config.offset_bits
-        self.sets: List[List[_Line]] = [
-            [_Line() for _ in range(self._ways)] for _ in range(self._num_sets)
-        ]
         self._occupancy = 0
         self.on_evict: Optional[EvictionCallback] = None
         # Policy fast paths, resolved once.
@@ -157,6 +155,18 @@ class Cache:
             if pending:
                 c[key] = c.get(key, 0) + pending
                 setattr(self, attr, 0)
+
+    @cached_property
+    def sets(self) -> List[List[_Line]]:
+        """The object-model line array, built on first touch.
+
+        The batch engine tiers (vector, kernel) keep their own flat-array
+        cache state and never probe these lines, so a large L2's ~10^5
+        ``_Line`` objects would be pure construction waste there.  After
+        the first access this is a plain instance attribute (that is how
+        ``cached_property`` stores its result), so the pipeline's per-
+        access cost is unchanged."""
+        return [[_Line() for _ in range(self._ways)] for _ in range(self._num_sets)]
 
     # ------------------------------------------------------------------
     # Address plumbing

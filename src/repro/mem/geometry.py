@@ -42,3 +42,30 @@ def decompose(byte_addrs: np.ndarray, config: CacheConfig) -> Tuple[np.ndarray, 
     """
     lines = line_addresses(byte_addrs, config)
     return lines, set_indices(lines, config)
+
+
+def allocate_flat_cache(
+    config: CacheConfig,
+    flags: Tuple[str, ...] = (),
+    extra: Tuple[str, ...] = (),
+) -> dict:
+    """Flat array-of-ways cache state for the compiled engine tiers.
+
+    One slot per way, set-major: way ``w`` of set ``s`` lives at index
+    ``s * ways + w``, so a kernel reaches a set with
+    ``(line & (num_sets - 1)) * ways`` — the layout documented in
+    ``docs/architecture.md`` ("Engine tiers").  Returns a dict with
+
+    * ``tag``   — int64, the full line address, ``-1`` = invalid way;
+    * ``stamp`` — int64 LRU timestamp (memory-op index, not cycles);
+    * one uint8 array per name in ``flags`` (e.g. dirty/PIB/RIB bits);
+    * one int64 array per name in ``extra`` (e.g. trigger PC, filter
+      index), for per-line metadata wider than a flag.
+    """
+    n = config.num_sets * config.ways
+    out = {"tag": np.full(n, -1, dtype=np.int64), "stamp": np.zeros(n, dtype=np.int64)}
+    for name in flags:
+        out[name] = np.zeros(n, dtype=np.uint8)
+    for name in extra:
+        out[name] = np.zeros(n, dtype=np.int64)
+    return out

@@ -59,6 +59,7 @@ DEFAULT_INTERVAL = 4096
 CHECK_WALK = {
     "repro.common.config.SimulationConfig": "repro.cli",
     "repro.common.saturating.SaturatingCounterArray": "repro.filters.history_table",
+    "repro.core.kernel.KernelState": "repro.core.kernel",
     "repro.core.rob.RetirementWindow": "repro.sanitize",
     "repro.filters.history_table.HistoryTable": "repro.sanitize",
     "repro.mem.cache.Cache": "repro.mem.hierarchy",

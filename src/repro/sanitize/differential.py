@@ -13,6 +13,11 @@ a reusable library behind ``repro-sim verify``:
   trace-determined counters (instructions, L1 demand accesses), a
   rel-or-abs tolerance for classification counters whose residuals come
   from 1-cycle enqueue delay and LRU timestamp ties;
+* :func:`run_kernel_parity` holds the compiled tier to a stricter
+  contract: :class:`~repro.core.kernel.KernelEngine` re-implements the
+  vector engine's functional model as flat-array kernels, so its full
+  golden counter vector must match the vector engine **bit-for-bit** on
+  the paper-default machine — no tolerance band at all;
 * :func:`verify_golden` replays a corpus of locked counter vectors
   (``tests/golden/*.json``) and demands bit-identical results, gated on
   :data:`~repro.analysis.result_cache.MODEL_VERSION` so an intentional
@@ -145,6 +150,58 @@ def run_parity(
 
 
 # ----------------------------------------------------------------------
+# Exact parity (vector vs kernel — same functional model, zero tolerance)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ExactParityReport:
+    """Outcome of one vector-vs-kernel bit-identity run.
+
+    The kernel engine is a lowering of the vector engine, not an
+    independent model, so the comparison is exact over the full golden
+    counter vector (scalars, cycles and every prefetch tally) on the
+    *paper-default* machine — relaxation would only mask a porting bug.
+    """
+
+    workload: str
+    filter_name: str
+    n_insts: int
+    seed: int
+    kernel_mode: str
+    mismatches: Tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+
+def run_kernel_parity(
+    workload: str,
+    kind: FilterKind = FilterKind.PA,
+    n_insts: int = DEFAULT_INSTS,
+    seed: int = DEFAULT_SEED,
+    sanitize: bool = False,
+    config: Optional[SimulationConfig] = None,
+) -> ExactParityReport:
+    """Run vector and kernel on the same config and demand bit identity."""
+    from repro.core.kernel import select_mode
+
+    cfg = config if config is not None else SimulationConfig.paper_default(kind)
+    if sanitize and not cfg.sanitize:
+        cfg = replace(cfg, sanitize=True)
+    v = run_workload(workload, cfg, n_insts, seed, "vector")
+    k = run_workload(workload, cfg, n_insts, seed, "kernel")
+    expected, got = golden_counters(v), golden_counters(k)
+    mismatches = tuple(
+        f"{key}: vector {expected[key]} != kernel {got[key]}"
+        for key in expected
+        if expected[key] != got[key]
+    )
+    return ExactParityReport(
+        workload, kind.value, n_insts, seed, select_mode(), mismatches
+    )
+
+
+# ----------------------------------------------------------------------
 # Golden-run corpus
 # ----------------------------------------------------------------------
 #: Counters locked by a golden record (all integers, compared exactly).
@@ -175,7 +232,7 @@ def default_corpus() -> Tuple[Tuple[str, str, str], ...]:
         (workload, filter_name, engine)
         for workload in DEFAULT_WORKLOADS
         for filter_name in DEFAULT_FILTERS
-        for engine in ("pipeline", "vector")
+        for engine in ("pipeline", "vector", "kernel")
     )
 
 
