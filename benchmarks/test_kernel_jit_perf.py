@@ -1,0 +1,59 @@
+"""Kernel-engine JIT performance gate (runs only where numba exists).
+
+The kernel engine's whole reason to exist is speed: its ``jit`` leg must
+beat the pure-Python ``interp`` leg by a wide margin on identical
+counters.  CI's ``jit`` matrix leg (the one that installs numba) runs
+this module to keep that speedup from silently rotting; everywhere else
+it skips cleanly via ``importorskip``.
+
+The floor asserted here is deliberately conservative (1.5x on a shared
+runner; the typical ratio is an order of magnitude) — this is a "did the
+JIT stop engaging" tripwire, not a precision benchmark.  Compilation is
+paid in an untimed warm-up run, mirroring ``repro-sim bench`` timing
+discipline.
+"""
+
+import time
+
+import pytest
+
+pytest.importorskip("numba")
+
+from repro.analysis.sweep import run_workload
+from repro.common.config import FilterKind, SimulationConfig
+from repro.core.kernel import select_mode
+from repro.workloads import cached_trace
+
+N = 40_000
+
+
+def _time_mode(monkeypatch, mode, trace, cfg):
+    monkeypatch.setenv("REPRO_KERNEL_MODE", mode)
+    assert select_mode() == mode  # the leg actually engaged, no fallback
+    run_workload("em3d", cfg, N, 0, "kernel", trace=trace)  # untimed warm-up
+    best, result = float("inf"), None
+    for _ in range(3):
+        t0 = time.perf_counter()
+        result = run_workload("em3d", cfg, N, 0, "kernel", trace=trace)
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def test_jit_leg_is_meaningfully_faster_than_interp(monkeypatch):
+    cfg = SimulationConfig.paper_default(FilterKind.PA).with_warmup(N // 4)
+    trace = cached_trace("em3d", N, 0, cfg.prefetch.software_prefetch)
+
+    interp_s, interp_result = _time_mode(monkeypatch, "interp", trace, cfg)
+    jit_s, jit_result = _time_mode(monkeypatch, "jit", trace, cfg)
+
+    # legs must agree bit-for-bit before their timings mean anything
+    assert jit_result.cycles == interp_result.cycles
+    assert jit_result.prefetch == interp_result.prefetch
+    assert jit_result.stats.flat() == interp_result.stats.flat()
+
+    speedup = interp_s / jit_s
+    assert speedup > 1.5, (
+        f"jit leg only {speedup:.2f}x faster than interp "
+        f"({jit_s:.3f}s vs {interp_s:.3f}s): JIT compilation is "
+        "probably not engaging"
+    )

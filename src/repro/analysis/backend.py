@@ -1,0 +1,354 @@
+"""Pluggable execution backends for batch simulation runs.
+
+:func:`repro.analysis.resilience.execute_batch` owns everything that
+must be true of *every* batch — the journal/cache prefilter, retry
+policy, per-job outcome records, crash-consistent journaling.  What it
+does **not** own is where the simulations physically run.  That is an
+:class:`ExecutionBackend`:
+
+* :class:`PoolBackend` (the default, ``"pool"``) — the in-process
+  ``ProcessPoolExecutor`` ladder this repo has always used: pool →
+  fresh pool → serial, shared-memory traces, suspect quarantine.
+* :class:`SharedFSBackend` (``"shared-fs"``) — a shared-filesystem
+  work queue (:mod:`repro.analysis.workqueue`) drainable by any number
+  of ``repro-sim worker`` processes on any host that can see the
+  directory.  The submitting process publishes the jobs, optionally
+  spawns local workers, *participates in the drain itself* (so a sweep
+  completes even if every spawned worker dies — stale leases get
+  stolen), then folds the sealed ``done/`` records back into the
+  batch's outcomes, cache, and journal.
+
+The contract every backend must honour (and the chaos suite enforces):
+**swapping backends never changes results** — jobs are pure functions
+of their content-hashed keys, so the same sweep through ``pool``,
+``shared-fs``, or plain serial execution is bit-identical.  Backends
+differ only in throughput, fault envelope, and where the CPUs are.
+
+Selection: ``run_jobs(..., backend=...)`` accepts an instance, a
+registered name, or ``None``; ``None`` defers to the ``REPRO_BACKEND``
+environment variable (unset → the built-in pool path with zero new
+overhead).  Third-party backends register with
+:func:`register_backend` — see ``docs/extending.md`` for the
+checklist.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import uuid
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.workqueue import FileQueue
+
+BACKEND_ENV = "REPRO_BACKEND"
+QUEUE_DIR_ENV = "REPRO_QUEUE_DIR"
+QUEUE_WORKERS_ENV = "REPRO_QUEUE_WORKERS"
+LEASE_TTL_ENV = "REPRO_LEASE_TTL"
+QUEUE_BATCH_ENV = "REPRO_QUEUE_BATCH"
+
+
+class ExecutionBackend(ABC):
+    """Where a batch's pending jobs physically execute.
+
+    ``execute`` receives the resilience engine's mutable batch state
+    (``repro.analysis.resilience._Batch``) and the indices still
+    pending after the journal/cache prefilter.  It must drive every
+    pending index to a terminal state — ``batch.complete(i, result)``
+    on success, ``batch.record_failure(...)`` + ``batch.give_up(i)``
+    on permanent failure — and may call ``batch.degrade(event)`` to
+    report degradations.  It must not touch non-pending outcomes.
+    """
+
+    #: Registry name; subclasses override.
+    name: str = "abstract"
+
+    @abstractmethod
+    def execute(self, batch, pending: Sequence[int], workers: int, share_traces: bool) -> None:
+        """Run ``batch.jobs[i]`` for every ``i`` in ``pending``."""
+
+
+class PoolBackend(ExecutionBackend):
+    """The built-in in-process pool with its full degradation ladder."""
+
+    name = "pool"
+
+    def execute(self, batch, pending: Sequence[int], workers: int, share_traces: bool) -> None:
+        from repro.analysis.resilience import _pool_phase, _serial_phase
+
+        if workers <= 1 or len(pending) == 1:
+            _serial_phase(batch, pending)
+        else:
+            _pool_phase(batch, list(pending), workers, share_traces)
+
+
+class SharedFSBackend(ExecutionBackend):
+    """Drain a batch through a shared-filesystem work queue.
+
+    Parameters
+    ----------
+    queue_dir:
+        Queue root.  ``None`` creates a throwaway directory (removed
+        after the drain); pointing several processes — or several
+        *sweeps*, for resume — at the same directory is the whole
+        point.  An existing queue's ``done/`` records are honoured, so
+        re-running a sweep against its old queue dir only executes the
+        missing jobs.
+    spawn:
+        Local ``repro-sim worker`` subprocesses to launch for the
+        drain.  ``None`` spawns ``workers - 1`` (the submitting process
+        is itself the remaining drainer).  ``0`` spawns none — external
+        workers (other hosts, or a test harness) are expected, but the
+        parent still drains, so progress never depends on them.
+    lease_ttl:
+        Seconds of heartbeat silence before a worker's leases become
+        stealable.
+    batch:
+        Jobs claimed per worker per round — the amortization knob:
+        larger batches give each worker more group-mates sharing a
+        trace acquisition (see :mod:`repro.analysis.worker`).
+
+    After ``execute`` returns, ``last_counts`` / ``last_worker_stats``
+    / ``last_parent_stats`` hold the drain's telemetry for
+    ``repro-sim bench --sweep``.
+    """
+
+    name = "shared-fs"
+
+    def __init__(
+        self,
+        queue_dir: Optional[os.PathLike | str] = None,
+        spawn: Optional[int] = None,
+        lease_ttl: float = 30.0,
+        batch: int = 8,
+        poll: float = 0.1,
+    ) -> None:
+        if spawn is not None and spawn < 0:
+            raise ValueError(f"spawn must be >= 0 (got {spawn})")
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1 (got {batch})")
+        self.queue_dir = Path(queue_dir) if queue_dir is not None else None
+        self.spawn = spawn
+        self.lease_ttl = lease_ttl
+        self.batch = batch
+        self.poll = poll
+        self.last_counts: Dict = {}
+        self.last_worker_stats: List[Dict] = []
+        self.last_parent_stats: Dict = {}
+
+    # ------------------------------------------------------------------
+    def _spawn_worker(self, queue: FileQueue, index: int):
+        """Launch one ``repro-sim worker`` subprocess against the queue.
+
+        Best-effort by design: a host that cannot spawn (sandbox, fork
+        limits) degrades to the parent draining alone.  Workers log to
+        the queue's ``logs/`` directory and exit when the queue drains.
+        """
+        name = f"spawn{index}-{uuid.uuid4().hex[:6]}"
+        cmd = [
+            sys.executable, "-m", "repro.cli", "worker",
+            "--queue-dir", str(queue.root),
+            "--name", name,
+            "--lease-ttl", str(queue.lease_ttl),
+            "--batch", str(self.batch),
+        ]
+        env = dict(os.environ)
+        import repro
+
+        src_root = str(Path(repro.__file__).resolve().parent.parent)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src_root + (os.pathsep + existing if existing else "")
+        log = open(queue.logs_dir / f"{name}.log", "w")
+        try:
+            proc = subprocess.Popen(cmd, stdout=log, stderr=subprocess.STDOUT, env=env)
+        except OSError:
+            log.close()
+            raise
+        return proc, log
+
+    @staticmethod
+    def _reap(procs) -> None:
+        for proc, log in procs:
+            try:
+                proc.wait(timeout=10.0)
+            except subprocess.TimeoutExpired:
+                proc.terminate()
+                try:
+                    proc.wait(timeout=5.0)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait()
+            finally:
+                log.close()
+
+    def _apply(self, batch, indices: List[int], record: Dict) -> None:
+        """Fold one sealed done record into every outcome sharing its key."""
+        from repro.analysis.result_cache import result_from_dict
+
+        if record.get("ok"):
+            try:
+                result = result_from_dict(record["result"])
+            except (KeyError, TypeError, ValueError):
+                for index in indices:
+                    batch.record_failure(index, "exception", "corrupt done record payload", 0.0)
+                    batch.give_up(index)
+                return
+            for index in indices:
+                # Replay failed attempts that preceded the success, so the
+                # outcome's history matches what a pool run would report.
+                for attempt in record.get("attempts") or []:
+                    batch.record_failure(
+                        index,
+                        str(attempt.get("kind", "exception")),
+                        str(attempt.get("error", "failed")),
+                        float(attempt.get("elapsed", 0.0)),
+                    )
+                batch.complete(index, result)
+            return
+        attempts = record.get("attempts") or [
+            {"kind": "exception", "error": record.get("error", "failed"), "elapsed": 0.0}
+        ]
+        for index in indices:
+            for attempt in attempts:
+                batch.record_failure(
+                    index,
+                    str(attempt.get("kind", "exception")),
+                    str(attempt.get("error", "failed")),
+                    float(attempt.get("elapsed", 0.0)),
+                )
+            batch.give_up(index)
+
+    def execute(self, batch, pending: Sequence[int], workers: int, share_traces: bool) -> None:
+        from repro.analysis.worker import drain_queue
+
+        # Inside a pool worker already (nested fan-out): spawning more
+        # processes would oversubscribe quadratically, exactly like a
+        # nested pool — run serially instead.
+        if os.environ.get("REPRO_POOL_WORKER"):
+            from repro.analysis.resilience import _serial_phase
+
+            batch.degrade("shared-fs: nested inside a pool worker; ran serially")
+            _serial_phase(batch, pending)
+            return
+
+        owns_dir = self.queue_dir is None
+        root = self.queue_dir or Path(tempfile.mkdtemp(prefix="repro-queue-"))
+        queue = FileQueue(root, lease_ttl=self.lease_ttl)
+        key_to_indices: Dict[str, List[int]] = {}
+        for index in pending:
+            key_to_indices.setdefault(batch.outcome(index).key, []).append(index)
+        # One queue job per distinct key; duplicates fan back out on apply.
+        queue.submit([batch.jobs[indices[0]] for indices in key_to_indices.values()])
+
+        spawn = self.spawn if self.spawn is not None else max(0, workers - 1)
+        procs = []
+        for i in range(spawn):
+            try:
+                procs.append(self._spawn_worker(queue, i))
+            except OSError as exc:
+                batch.degrade(f"shared-fs: could not spawn worker {i} ({exc!r})")
+                break
+        try:
+            # The parent drains too: with zero live workers the sweep
+            # still finishes, and stale leases of dead workers are stolen.
+            stats = drain_queue(
+                queue,
+                worker="parent-" + uuid.uuid4().hex[:6],
+                batch=self.batch,
+                policy=batch.policy,
+                trace_store=batch.trace_store,
+                poll=self.poll,
+            )
+            self.last_parent_stats = stats.to_dict()
+        finally:
+            self._reap(procs)
+            self.last_counts = queue.counts()
+            self.last_worker_stats = queue.read_stats()
+
+        applied = set()
+        for key, record in queue.collect_new(set()):
+            indices = key_to_indices.get(key)
+            if indices is None:
+                continue  # a previous sweep's job sharing this queue dir
+            applied.add(key)
+            self._apply(batch, indices, record)
+        for key, indices in key_to_indices.items():
+            if key in applied:
+                continue
+            # Drained queue but no intact done record (quarantined on
+            # read, or lost to the filesystem): an honest failure beats
+            # a silent hang.
+            for index in indices:
+                batch.record_failure(index, "exception", "queue drained with no done record", 0.0)
+                batch.give_up(index)
+        if queue.quarantined:
+            batch.degrade(f"shared-fs: {queue.quarantined} corrupt queue record(s) quarantined")
+        if owns_dir:
+            shutil.rmtree(root, ignore_errors=True)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, Callable[[], ExecutionBackend]] = {}
+
+
+def register_backend(name: str, factory: Callable[[], ExecutionBackend]) -> None:
+    """Register a backend factory under ``name`` (later wins, like env vars)."""
+    _REGISTRY[name] = factory
+
+
+def _shared_fs_from_env() -> SharedFSBackend:
+    """A :class:`SharedFSBackend` configured from ``REPRO_QUEUE_*`` vars."""
+
+    def _num(env: str, cast, default):
+        raw = os.environ.get(env)
+        if not raw:
+            return default
+        try:
+            return cast(raw)
+        except ValueError:
+            raise ValueError(f"{env}={raw!r} is not a valid {cast.__name__}") from None
+
+    return SharedFSBackend(
+        queue_dir=os.environ.get(QUEUE_DIR_ENV) or None,
+        spawn=_num(QUEUE_WORKERS_ENV, int, None),
+        lease_ttl=_num(LEASE_TTL_ENV, float, 30.0),
+        batch=_num(QUEUE_BATCH_ENV, int, 8),
+    )
+
+
+register_backend("pool", PoolBackend)
+register_backend("shared-fs", _shared_fs_from_env)
+
+
+def backend_names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def resolve_backend(spec=None) -> Optional[ExecutionBackend]:
+    """Turn a backend spec into an instance.
+
+    ``None`` consults ``REPRO_BACKEND`` (still unset → ``None``, i.e.
+    the built-in pool path without any backend object); a string is
+    looked up in the registry; an :class:`ExecutionBackend` instance
+    passes through.  An unknown name raises with the known names — a
+    typo in ``REPRO_BACKEND`` must fail loudly, not silently serialise.
+    """
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    if spec is None:
+        spec = os.environ.get(BACKEND_ENV)
+        if not spec:
+            return None
+    factory = _REGISTRY.get(spec)
+    if factory is None:
+        raise ValueError(
+            f"unknown execution backend {spec!r}; registered: {', '.join(backend_names())}"
+        )
+    return factory()

@@ -59,6 +59,29 @@ def _record_digest(record: Dict[str, Any]) -> str:
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
+def seal_record(record: Dict[str, Any]) -> Dict[str, Any]:
+    """Stamp a record with the version tag and its own integrity digest.
+
+    The journal's per-line format doubles as the shared-FS work queue's
+    per-file format (job files, done records): one JSON object carrying
+    a ``sha256`` of its own canonical encoding.  Mutates and returns
+    ``record`` for call-site convenience.
+    """
+    record["v"] = _RECORD_VERSION
+    record[_DIGEST_KEY] = _record_digest(record)
+    return record
+
+
+def record_intact(record: Dict[str, Any]) -> bool:
+    """Whether a sealed record's digest matches its content.
+
+    Records without a digest predate per-record integrity and are
+    accepted as legacy, mirroring :meth:`RunJournal.load`.
+    """
+    stored = record.get(_DIGEST_KEY)
+    return stored is None or stored == _record_digest(record)
+
+
 def runs_dir() -> Path:
     """Where journals live: ``<cache dir>/runs`` (REPRO_CACHE_DIR aware)."""
     return default_cache_dir() / "runs"
@@ -98,8 +121,7 @@ class RunJournal:
     # Writing
     # ------------------------------------------------------------------
     def _append(self, record: Dict[str, Any]) -> None:
-        record["v"] = _RECORD_VERSION
-        record[_DIGEST_KEY] = _record_digest(record)
+        seal_record(record)
         spec = fault_point("journal", key=str(record.get("key", "")))
         if spec is not None and spec.kind == "corrupt-artifact":
             # Still valid JSON, still shaped like a record — only the

@@ -71,6 +71,7 @@ class ExperimentSuite:
         engine: Optional[str] = None,
         policy: Optional[RetryPolicy] = None,
         journal: Optional[RunJournal] = None,
+        backend=None,
     ) -> None:
         self.n_insts = n_insts
         self.warmup = warmup if warmup is not None else int(n_insts * 0.4)
@@ -82,6 +83,9 @@ class ExperimentSuite:
         #: killed suite resumes from (see repro.analysis.resilience).
         self.policy = policy
         self.journal = journal
+        #: execution backend for every batch (see repro.analysis.backend);
+        #: ``None`` defers to REPRO_BACKEND and then the in-process pool.
+        self.backend = backend
         #: engine tier for every run in the suite; ``None`` defers to each
         #: config.  The vector tier suits classification-level experiments
         #: (filter comparisons, table sweeps); keep IPC/port/buffer figures
@@ -124,6 +128,7 @@ class ExperimentSuite:
             cache=self.cache,
             policy=self.policy,
             journal=self.journal,
+            backend=self.backend,
         )
         for job, result in zip(fresh, results):
             self._runs[job.key()] = result

@@ -103,6 +103,34 @@ class SimulationJob:
         )
 
 
+def job_to_dict(job: SimulationJob) -> Dict:
+    """A job as JSON-serialisable plain data (for shared-FS queue files)."""
+    return {
+        "workload": job.workload,
+        "config": job.config.to_dict(),
+        "n_insts": job.n_insts,
+        "seed": job.seed,
+        "software_prefetch": job.software_prefetch,
+        "engine": job.engine,
+    }
+
+
+def job_from_dict(data: Dict) -> SimulationJob:
+    """Rebuild a :class:`SimulationJob` from :func:`job_to_dict` output.
+
+    The config is revalidated on reconstruction, so a tampered or stale
+    queue file fails loudly at claim time instead of inside a run.
+    """
+    return SimulationJob(
+        workload=data["workload"],
+        config=SimulationConfig.from_dict(data["config"]),
+        n_insts=int(data["n_insts"]),
+        seed=int(data["seed"]),
+        software_prefetch=bool(data["software_prefetch"]),
+        engine=data.get("engine"),
+    )
+
+
 def execute_job(
     job: SimulationJob,
     trace_handle: Optional[SharedTraceHandle] = None,
@@ -224,6 +252,7 @@ def run_jobs(
     policy: Optional[RetryPolicy] = None,
     journal: Optional[RunJournal] = None,
     return_report: bool = False,
+    backend=None,
 ) -> List[SimulationResult] | BatchReport:
     """Execute ``jobs``; returns results aligned with the input order.
 
@@ -247,7 +276,21 @@ def run_jobs(
     per-job :class:`~repro.analysis.resilience.BatchReport`) is raised.
     Pass ``return_report=True`` to receive the report instead — no
     exception, failed jobs appear as ``ok=False`` outcomes.
+
+    ``backend`` selects the execution substrate (see
+    :mod:`repro.analysis.backend`): ``None`` defers to the
+    ``REPRO_BACKEND`` environment variable and then the default
+    in-process pool; a string (``"pool"`` / ``"shared-fs"``) resolves
+    through the backend registry; an
+    :class:`~repro.analysis.backend.ExecutionBackend` instance is used
+    as-is.  Every backend honours the same cache/journal/policy
+    semantics — swapping backends never changes results, only where the
+    simulations physically run.
     """
+    if backend is not None or os.environ.get("REPRO_BACKEND"):
+        from repro.analysis.backend import resolve_backend
+
+        backend = resolve_backend(backend)
     report = execute_batch(
         jobs,
         workers=workers,
@@ -256,6 +299,7 @@ def run_jobs(
         share_traces=share_traces,
         policy=policy,
         journal=journal,
+        backend=backend,
     )
     if return_report:
         return report

@@ -1,0 +1,136 @@
+"""Benchmark regression gate: compare a fresh bench report to a baseline.
+
+``repro-sim bench --baseline BENCH_x.json`` reruns a bench and asks one
+question: *did throughput regress?*  This module answers it uniformly
+for every report shape the bench command emits:
+
+* engine-axis reports (``bench --engines ...``) — per-engine
+  ``summary.<engine>.geomean_speedup``;
+* sweep-backend reports (``bench --sweep``) — per-drain
+  ``jobs_per_sec``;
+* pool reports (plain ``bench``) — serial/parallel
+  ``insts_per_sec``.
+
+Each shared higher-is-better metric becomes a current/baseline ratio;
+the verdict is the **geometric mean** of those ratios (one noisy metric
+cannot sink — or rescue — the gate on its own), failing when the
+geomean falls more than ``max_regress`` below parity.  Metrics present
+on only one side are listed as uncomparable, never silently dropped:
+a baseline from a different bench mode should fail loudly as
+"0 comparable metrics", not pass vacuously — comparing zero metrics is
+an error, not a success.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List
+
+
+def extract_metrics(report: Dict) -> Dict[str, float]:
+    """Higher-is-better throughput metrics from any bench report shape."""
+    out: Dict[str, float] = {}
+    summary = report.get("summary")
+    if isinstance(summary, dict):
+        for engine, block in summary.items():
+            value = block.get("geomean_speedup") if isinstance(block, dict) else None
+            if isinstance(value, (int, float)) and value > 0:
+                out[f"geomean_speedup[{engine}]"] = float(value)
+    for drain in report.get("drains", []) or []:
+        label = drain.get("label")
+        value = drain.get("jobs_per_sec")
+        if label and isinstance(value, (int, float)) and value > 0:
+            out[f"jobs_per_sec[{label}]"] = float(value)
+    for key in ("serial_insts_per_sec", "parallel_insts_per_sec"):
+        value = report.get(key)
+        if isinstance(value, (int, float)) and value > 0:
+            out[key] = float(value)
+    return out
+
+
+@dataclass
+class MetricDelta:
+    """One metric's current-vs-baseline ratio (>1 means faster now)."""
+
+    metric: str
+    baseline: float
+    current: float
+
+    @property
+    def ratio(self) -> float:
+        return self.current / self.baseline
+
+    def render(self) -> str:
+        change = (self.ratio - 1.0) * 100.0
+        return (
+            f"{self.metric:40s} {self.baseline:>12.3f} -> {self.current:>12.3f}  "
+            f"({change:+.1f}%)"
+        )
+
+
+@dataclass
+class RegressionReport:
+    """The gate's verdict plus everything needed to explain it."""
+
+    deltas: List[MetricDelta]
+    max_regress: float
+    uncomparable: List[str] = field(default_factory=list)
+
+    @property
+    def geomean_ratio(self) -> float:
+        if not self.deltas:
+            return 0.0
+        return math.exp(sum(math.log(d.ratio) for d in self.deltas) / len(self.deltas))
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.deltas) and self.geomean_ratio >= 1.0 - self.max_regress
+
+    def render(self) -> str:
+        lines = [
+            f"{'metric':40s} {'baseline':>12s}    {'current':>12s}",
+        ]
+        lines += [d.render() for d in sorted(self.deltas, key=lambda d: d.metric)]
+        for name in self.uncomparable:
+            lines.append(f"{name:40s} (present on one side only; not compared)")
+        if not self.deltas:
+            lines.append(
+                "no comparable metrics: the baseline was produced by a "
+                "different bench mode"
+            )
+        else:
+            change = (self.geomean_ratio - 1.0) * 100.0
+            lines.append(
+                f"geomean throughput ratio: {self.geomean_ratio:.3f} ({change:+.1f}%), "
+                f"allowed slowdown: {self.max_regress * 100:.0f}%"
+            )
+        lines.append("regression gate: " + ("ok" if self.ok else "FAIL"))
+        return "\n".join(lines)
+
+
+def compare_reports(current: Dict, baseline: Dict, max_regress: float = 0.25) -> RegressionReport:
+    """Compare two bench reports metric-by-metric (see module docstring)."""
+    if not 0.0 <= max_regress < 1.0:
+        raise ValueError(f"max_regress must be in [0, 1) (got {max_regress})")
+    ours = extract_metrics(current)
+    theirs = extract_metrics(baseline)
+    shared = sorted(set(ours) & set(theirs))
+    deltas = [MetricDelta(name, theirs[name], ours[name]) for name in shared]
+    uncomparable = sorted((set(ours) | set(theirs)) - set(shared))
+    return RegressionReport(deltas=deltas, max_regress=max_regress, uncomparable=uncomparable)
+
+
+def load_baseline(path: Path | str) -> Dict:
+    """Read a baseline bench report; malformed files fail with context."""
+    path = Path(path)
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValueError(f"cannot read baseline report {path}: {exc}") from None
+    if not isinstance(data, dict):
+        raise ValueError(f"baseline report {path} is not a JSON object")
+    return data

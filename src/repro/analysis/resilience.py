@@ -598,6 +598,7 @@ def execute_batch(
     share_traces: bool = True,
     policy: Optional[RetryPolicy] = None,
     journal: Optional[RunJournal] = None,
+    backend=None,
 ) -> BatchReport:
     """Run a batch under a retry policy; never raises for job failures.
 
@@ -605,6 +606,11 @@ def execute_batch(
     served without execution; everything else runs under the policy's
     retry/timeout/degradation rules.  Returns a :class:`BatchReport`
     whose ``outcomes`` align with ``jobs``.
+
+    ``backend`` (an :class:`~repro.analysis.backend.ExecutionBackend`
+    instance, or ``None`` for the built-in pool/serial ladder) owns the
+    execution phase only: the journal/cache prefilter, outcome records,
+    and failure semantics above are identical for every backend.
     """
     from repro.analysis import parallel as _parallel
 
@@ -639,6 +645,9 @@ def execute_batch(
         pending.append(index)
 
     if not pending:
+        return report
+    if backend is not None:
+        backend.execute(batch, pending, workers, share_traces)
         return report
     if workers <= 1 or len(pending) == 1:
         _serial_phase(batch, pending)

@@ -174,6 +174,44 @@ def default_cache_dir() -> Path:
     return Path.home() / ".cache" / "repro"
 
 
+#: Size budget for the cache directory, e.g. ``64k`` / ``200m`` / ``2g``
+#: (or a plain byte count).  Unset means unbounded — the pre-budget
+#: behaviour.
+_BUDGET_ENV = "REPRO_CACHE_BUDGET"
+
+
+def parse_budget(text: Optional[str]) -> Optional[int]:
+    """Parse a size budget: bytes with an optional k/m/g suffix.
+
+    ``None``/empty means no budget.  A malformed or nonpositive value
+    raises — a user who sets ``REPRO_CACHE_BUDGET=10gb`` wants a bounded
+    cache, not a silently unbounded one.
+    """
+    if text is None:
+        return None
+    raw = str(text).strip().lower()
+    if not raw:
+        return None
+    multiplier = 1
+    if raw[-1] in "kmg":
+        multiplier = {"k": 1024, "m": 1024**2, "g": 1024**3}[raw[-1]]
+        raw = raw[:-1]
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"cache budget must be bytes with an optional k/m/g suffix (got {text!r})"
+        ) from None
+    budget = int(value * multiplier)
+    if budget <= 0:
+        raise ValueError(f"cache budget must be positive (got {text!r})")
+    return budget
+
+
+def default_budget() -> Optional[int]:
+    return parse_budget(os.environ.get(_BUDGET_ENV))
+
+
 class ResultCache:
     """Content-addressed JSON store of simulation results.
 
@@ -184,13 +222,32 @@ class ResultCache:
     ``repro-sim bench``) so a degraded disk is distinguishable from a
     cold cache; construction also sweeps temp files orphaned by killed
     writers.
+
+    With a size ``budget`` (explicit bytes, or the
+    ``REPRO_CACHE_BUDGET`` environment variable — ``64k``/``200m``/
+    ``2g``), the directory is kept under budget by least-recently-used
+    eviction: every hit bumps its entry's mtime, and each write evicts
+    oldest-read entries until the total fits.  Eviction is
+    multi-process safe — an exclusive (non-blocking) lock file
+    serialises evictors, and a process finding the lock busy simply
+    skips its turn, since the holder is already shrinking the same
+    directory.  Evictions are counted in ``.stats`` next to the
+    quarantine counters.
     """
 
-    def __init__(self, directory: Optional[os.PathLike | str] = None) -> None:
+    def __init__(
+        self,
+        directory: Optional[os.PathLike | str] = None,
+        budget: Optional[int] = None,
+    ) -> None:
         self.directory = Path(directory) if directory is not None else default_cache_dir()
+        self.budget_bytes = budget if budget is not None else default_budget()
+        if self.budget_bytes is not None and self.budget_bytes <= 0:
+            raise ValueError(f"cache budget must be positive (got {self.budget_bytes})")
         self.hits = 0
         self.misses = 0
         self.quarantined = 0
+        self.evicted = 0
         self.stale_tmp_removed = sweep_stale_tmp(self.directory)
 
     @property
@@ -200,6 +257,8 @@ class ResultCache:
             "hits": self.hits,
             "misses": self.misses,
             "quarantined": self.quarantined,
+            "evicted": self.evicted,
+            "budget_bytes": self.budget_bytes or 0,
             "stale_tmp_removed": self.stale_tmp_removed,
         }
 
@@ -228,6 +287,10 @@ class ResultCache:
             self.quarantined += 1
             self.misses += 1
             return None
+        try:
+            os.utime(path)  # LRU bump: a hit is a "use" for the evictor
+        except OSError:
+            pass
         self.hits += 1
         return result
 
@@ -252,6 +315,59 @@ class ResultCache:
                     path.write_text(json.dumps(data))
         except OSError:
             tmp.unlink(missing_ok=True)
+        self._enforce_budget()
+
+    def _enforce_budget(self) -> int:
+        """Evict least-recently-used entries until the directory fits.
+
+        Serialised across processes by a non-blocking exclusive lock: if
+        another process holds it, that process is already shrinking this
+        directory, so the current writer skips its turn rather than
+        block a sweep on janitorial work.  Entries are ranked by mtime
+        — which :meth:`get` bumps on every hit — so what goes first is
+        what nothing has read for longest, never the entry just written
+        (its mtime is the newest in the directory).
+        """
+        if self.budget_bytes is None:
+            return 0
+        try:
+            import fcntl
+        except ImportError:  # pragma: no cover - non-Unix fallback
+            fcntl = None
+        try:
+            lock = open(self.directory / ".evict.lock", "w")
+        except OSError:
+            return 0
+        try:
+            if fcntl is not None:
+                try:
+                    fcntl.flock(lock.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+                except OSError:
+                    return 0  # another process is already evicting
+            entries = []
+            total = 0
+            for path in self.directory.glob("*.json"):
+                try:
+                    st = path.stat()
+                except OSError:
+                    continue
+                entries.append((st.st_mtime, st.st_size, path))
+                total += st.st_size
+            entries.sort(key=lambda e: (e[0], e[2].name))
+            removed = 0
+            for _, size, path in entries:
+                if total <= self.budget_bytes:
+                    break
+                try:
+                    path.unlink()
+                except OSError:
+                    continue  # a concurrent reader/evictor got there first
+                total -= size
+                removed += 1
+            self.evicted += removed
+            return removed
+        finally:
+            lock.close()
 
     def clear(self) -> int:
         """Delete every cached result; returns how many were removed."""

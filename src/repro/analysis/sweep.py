@@ -90,13 +90,16 @@ def compare_filters(
     cache: Optional[ResultCache] = None,
     policy: Optional[RetryPolicy] = None,
     journal: Optional[RunJournal] = None,
+    backend=None,
 ) -> Dict[FilterKind, SimulationResult]:
     """The paper's core comparison: the same machine under several filters."""
     jobs = [
         SimulationJob(workload, base_config.with_filter(kind=kind), n_insts, seed, True, engine)
         for kind in kinds
     ]
-    results = run_jobs(jobs, workers=workers, cache=cache, policy=policy, journal=journal)
+    results = run_jobs(
+        jobs, workers=workers, cache=cache, policy=policy, journal=journal, backend=backend
+    )
     return dict(zip(kinds, results))
 
 
@@ -111,13 +114,16 @@ def sweep_history_sizes(
     cache: Optional[ResultCache] = None,
     policy: Optional[RetryPolicy] = None,
     journal: Optional[RunJournal] = None,
+    backend=None,
 ) -> Dict[int, SimulationResult]:
     """Section 5.3: history-table size sensitivity (PA filter by default)."""
     jobs = [
         SimulationJob(workload, base_config.with_filter(table_entries=size), n_insts, seed, True, engine)
         for size in entries
     ]
-    results = run_jobs(jobs, workers=workers, cache=cache, policy=policy, journal=journal)
+    results = run_jobs(
+        jobs, workers=workers, cache=cache, policy=policy, journal=journal, backend=backend
+    )
     return dict(zip(entries, results))
 
 
@@ -132,13 +138,16 @@ def sweep_l1_ports(
     cache: Optional[ResultCache] = None,
     policy: Optional[RetryPolicy] = None,
     journal: Optional[RunJournal] = None,
+    backend=None,
 ) -> Dict[int, SimulationResult]:
     """Section 5.4: L1 port-count sensitivity (latency rises with ports)."""
     jobs = [
         SimulationJob(workload, SimulationConfig.paper_ports(p, filter_kind), n_insts, seed, True, engine)
         for p in ports
     ]
-    results = run_jobs(jobs, workers=workers, cache=cache, policy=policy, journal=journal)
+    results = run_jobs(
+        jobs, workers=workers, cache=cache, policy=policy, journal=journal, backend=backend
+    )
     return dict(zip(ports, results))
 
 
@@ -152,6 +161,9 @@ def run_all_workloads(
     cache: Optional[ResultCache] = None,
     policy: Optional[RetryPolicy] = None,
     journal: Optional[RunJournal] = None,
+    backend=None,
 ) -> List[SimulationResult]:
     jobs = [SimulationJob(w, config, n_insts, seed, True, engine) for w in workloads]
-    return run_jobs(jobs, workers=workers, cache=cache, policy=policy, journal=journal)
+    return run_jobs(
+        jobs, workers=workers, cache=cache, policy=policy, journal=journal, backend=backend
+    )

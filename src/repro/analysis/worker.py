@@ -1,0 +1,305 @@
+"""The queue worker: claim, steal, amortize, execute, publish.
+
+:func:`drain_queue` is the body of ``repro-sim worker`` and of the
+parent process's own participation in a shared-FS sweep
+(:class:`repro.analysis.backend.SharedFSBackend`).  One call drains a
+:class:`~repro.analysis.workqueue.FileQueue` until it is empty: claim a
+batch of jobs, steal from dead peers when the unclaimed pool runs dry,
+run everything, publish sealed ``done/`` records, repeat.
+
+**Batch amortization** is the perf heart of this module.  Simulation
+jobs sharing a trace are far cheaper together than apart: synthesising
+(or loading) the trace dominates short runs, and engine warm-up (JIT
+compilation, attribute caches) repeats per fresh process.  So each
+claimed batch is grouped by ``(engine, trace parameters)`` and each
+group acquires its trace exactly **once**; members after the first pay
+only the simulation itself.  :class:`WorkerStats` separates
+first-of-group from rest-of-group wall time so ``repro-sim bench
+--sweep`` can report the amortization win instead of asserting it.
+
+Fault sites (chaos-tested, registered in :mod:`repro.common.faults`):
+
+* ``worker-death`` fires *outside* the per-job try/except, after a
+  lease is held and before its job runs — a ``raise`` spec propagates
+  out of :func:`drain_queue` with leases still held (an in-process
+  simulated death for tests), and an ``exit`` spec hard-kills a real
+  worker process mid-lease.  Either way the queue's steal path must
+  recover the work.
+* ``stale-lease`` lives inside :meth:`FileQueue.heartbeat`: a ``drop``
+  spec silently discards heartbeat writes, so a perfectly healthy
+  worker *looks* dead to its peers and its leases get stolen — the
+  duplicate execution that follows must converge bit-identically.
+
+A background daemon thread heartbeats every quarter lease-TTL so a
+legitimately long job is never mistaken for a dead owner.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.parallel import _trace_params, execute_job
+from repro.analysis.resilience import (
+    DEFAULT_POLICY,
+    JobAttempt,
+    JobTimeout,
+    RetryPolicy,
+    _serial_deadline,
+)
+from repro.analysis.result_cache import result_to_dict
+from repro.analysis.workqueue import _BEAT_FRACTION, Claim, FileQueue, new_worker_id
+from repro.common.faults import fault_point
+from repro.trace.store import TraceStore
+
+
+@dataclass
+class WorkerStats:
+    """One worker's ledger for a drain: throughput plus amortization split."""
+
+    worker: str
+    claimed: int = 0
+    stolen: int = 0
+    executed: int = 0
+    ok: int = 0
+    failed: int = 0
+    #: Distinct (engine, trace) groups run — each paid trace acquisition once.
+    groups: int = 0
+    #: Jobs that reused a group-mate's trace instead of acquiring their own.
+    trace_reuses: int = 0
+    trace_acquire_s: float = 0.0
+    #: Wall time split: first job of each group (pays warm-up) vs the rest.
+    first_job_s: float = 0.0
+    rest_job_s: float = 0.0
+    first_jobs: int = 0
+    rest_jobs: int = 0
+    idle_polls: int = 0
+    drain_s: float = 0.0
+    degradations: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+    @property
+    def amortization(self) -> Optional[float]:
+        """Mean first-of-group time over mean rest-of-group time (>1 is a win)."""
+        if not self.first_jobs or not self.rest_jobs or not self.rest_job_s:
+            return None
+        return (self.first_job_s / self.first_jobs) / (self.rest_job_s / self.rest_jobs)
+
+
+class _Heartbeat(threading.Thread):
+    """Daemon that beats on the worker's behalf while jobs run."""
+
+    def __init__(self, queue: FileQueue, worker: str) -> None:
+        super().__init__(daemon=True, name=f"repro-hb-{worker}")
+        self._queue = queue
+        self._worker = worker
+        self._halt = threading.Event()
+
+    def run(self) -> None:
+        while not self._halt.is_set():
+            try:
+                self._queue.heartbeat(self._worker, force=True)
+            except Exception:  # noqa: BLE001 - a failed beat must not kill the worker
+                pass
+            self._halt.wait(self._queue.lease_ttl * _BEAT_FRACTION)
+
+    def stop(self) -> None:
+        self._halt.set()
+        self.join(timeout=2.0)
+
+
+def _run_claim(
+    claim: Claim,
+    trace,
+    policy: RetryPolicy,
+    worker: str,
+    stats: WorkerStats,
+) -> Tuple[Dict, bool]:
+    """One claim under the retry policy; returns (done record, ok).
+
+    Mirrors the serial attempt loop of the resilience engine: seeded
+    backoff between tries, SIGALRM deadline where the platform allows,
+    the ``worker`` fault site on every attempt.  The outcome — success
+    or exhausted failure — becomes a queue ``done/`` record either way,
+    so the parent sees the same attempt history a pool backend would
+    have reported.
+    """
+    attempts: List[Dict] = []
+    warned = False
+    while True:
+        attempt = len(attempts)
+        if attempt:
+            time.sleep(policy.delay(attempt, claim.token))
+        started = time.monotonic()
+        try:
+            with _serial_deadline(policy.timeout) as armed:
+                if policy.timeout and not armed and not warned:
+                    warned = True
+                    stats.degradations.append(
+                        f"timeout not enforceable for {claim.token} on this platform"
+                    )
+                fault_point("worker", key=claim.token, attempt=attempt)
+                result = execute_job(claim.job, trace=trace)
+        except JobTimeout:
+            attempts.append(
+                JobAttempt(
+                    attempt, "timeout", f"exceeded {policy.timeout}s (queue worker)",
+                    time.monotonic() - started,
+                ).to_dict()
+            )
+        except Exception as exc:  # noqa: BLE001 - per-job isolation
+            attempts.append(
+                JobAttempt(attempt, "exception", repr(exc), time.monotonic() - started).to_dict()
+            )
+        else:
+            return (
+                {
+                    "ok": True,
+                    "result": result_to_dict(result),
+                    "attempts": attempts,
+                    "worker": worker,
+                },
+                True,
+            )
+        if len(attempts) >= policy.max_attempts:
+            return (
+                {
+                    "ok": False,
+                    "error": attempts[-1]["error"],
+                    "attempts": attempts,
+                    "worker": worker,
+                },
+                False,
+            )
+
+
+def _run_claims(
+    queue: FileQueue,
+    claims: List[Claim],
+    policy: RetryPolicy,
+    trace_store: Optional[TraceStore],
+    worker: str,
+    stats: WorkerStats,
+) -> None:
+    """Run a claimed batch, grouped so each distinct trace is acquired once."""
+    groups: Dict[Tuple, List[Claim]] = {}
+    for claim in claims:
+        groups.setdefault((claim.job.engine_name, _trace_params(claim.job)), []).append(claim)
+
+    for (_, params), members in sorted(groups.items()):
+        stats.groups += 1
+        acquire_started = time.monotonic()
+        try:
+            if trace_store is not None:
+                trace = trace_store.get_or_build(*params)
+            else:
+                from repro.workloads import cached_trace
+
+                trace = cached_trace(*params)
+        except Exception as exc:  # noqa: BLE001 - fail the group's jobs, not the worker
+            for claim in members:
+                queue.complete(
+                    claim,
+                    {
+                        "ok": False,
+                        "error": f"trace acquisition failed: {exc!r}",
+                        "attempts": [],
+                        "worker": worker,
+                    },
+                )
+                stats.executed += 1
+                stats.failed += 1
+            continue
+        acquire_cost = time.monotonic() - acquire_started
+        stats.trace_acquire_s += acquire_cost
+        stats.trace_reuses += len(members) - 1
+
+        for position, claim in enumerate(members):
+            # Deliberately OUTSIDE the per-job try/except: a worker-death
+            # fault must take the whole worker down with the lease still
+            # held, so the steal path (not local retry) recovers the job.
+            fault_point("worker-death", key=claim.token, attempt=stats.executed)
+            job_started = time.monotonic()
+            record, ok = _run_claim(claim, trace, policy, worker, stats)
+            elapsed = time.monotonic() - job_started
+            queue.complete(claim, record)
+            stats.executed += 1
+            if ok:
+                stats.ok += 1
+            else:
+                stats.failed += 1
+            if position == 0:
+                # The first job of a group carries the trace acquisition —
+                # that is exactly the warm-up the rest of the group
+                # amortizes away, so charge it here and nowhere else.
+                stats.first_jobs += 1
+                stats.first_job_s += elapsed + acquire_cost
+            else:
+                stats.rest_jobs += 1
+                stats.rest_job_s += elapsed
+
+
+def drain_queue(
+    queue: FileQueue,
+    worker: Optional[str] = None,
+    batch: int = 8,
+    policy: Optional[RetryPolicy] = None,
+    trace_store: Optional[TraceStore] = None,
+    poll: float = 0.2,
+    exit_when_empty: bool = True,
+    max_jobs: Optional[int] = None,
+) -> WorkerStats:
+    """Drain ``queue`` until it is empty (or ``max_jobs`` have run).
+
+    The loop: claim up to ``batch`` unclaimed jobs; if that comes up
+    short, steal from owners whose heartbeats have gone stale; run the
+    batch grouped by (engine, trace); publish done records; repeat.
+    With nothing claimable but leases still live elsewhere, the worker
+    idles on ``poll`` — either the owners finish or their leases go
+    stale and get stolen, so a drain always terminates.
+
+    ``exit_when_empty=False`` keeps the worker alive as a standing
+    drainer (the ``repro-sim worker --keep-alive`` mode) — it must then
+    be stopped externally.  ``max_jobs`` bounds total executions, for
+    tests and canary workers.
+    """
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1 (got {batch})")
+    worker = worker or new_worker_id()
+    policy = policy or DEFAULT_POLICY
+    stats = WorkerStats(worker=worker)
+    started = time.monotonic()
+    heartbeat = _Heartbeat(queue, worker)
+    queue.heartbeat(worker, force=True)
+    heartbeat.start()
+    try:
+        while True:
+            if max_jobs is not None and stats.executed >= max_jobs:
+                break
+            limit = batch
+            if max_jobs is not None:
+                limit = min(limit, max_jobs - stats.executed)
+            claims = queue.claim(worker, limit=limit)
+            if len(claims) < limit:
+                claims += queue.steal(worker, limit=limit - len(claims))
+            if not claims:
+                jobs_left, leases_left = queue.outstanding()
+                if jobs_left == 0 and leases_left == 0 and exit_when_empty:
+                    break
+                stats.idle_polls += 1
+                time.sleep(poll)
+                continue
+            stats.claimed += sum(1 for c in claims if not c.stolen)
+            stats.stolen += sum(1 for c in claims if c.stolen)
+            _run_claims(queue, claims, policy, trace_store, worker, stats)
+            stats.drain_s = time.monotonic() - started
+            queue.write_stats(worker, stats.to_dict())
+    finally:
+        heartbeat.stop()
+        stats.drain_s = time.monotonic() - started
+        queue.write_stats(worker, stats.to_dict())
+    return stats

@@ -1,0 +1,436 @@
+"""Shared-filesystem work queue: lease files, atomic claims, work stealing.
+
+The distributed sweep backend (:mod:`repro.analysis.backend`) needs a
+queue that any number of ``repro-sim worker`` processes — on this host
+or on NFS peers — can drain with nothing in common but a directory.
+:class:`FileQueue` is that queue, built entirely from the two shared-FS
+primitives that are actually trustworthy:
+
+* **atomic rename** for every ownership transition (claim and steal):
+  ``os.rename`` succeeds for exactly one caller, so two workers racing
+  for the same job cannot both win, with zero locks held;
+* **atomic replace** for every record write (job files, done records,
+  heartbeats), so readers never observe a partial file.
+
+Directory layout under the queue root::
+
+    jobs/<key>.json               submitted, unclaimed job records
+    leases/<key>.g<gen>.<owner>.json   claimed: the job file, renamed
+    done/<key>.json               outcome records (ok or failed)
+    hb/<owner>.json               per-worker heartbeat counters
+    stats/<owner>.json            per-worker drain statistics
+    logs/<owner>.log              spawned-worker stdout/stderr
+
+``<key>`` is the job's content hash (the same key the result cache and
+run journal use), which is what makes every job *relocatable*: any
+worker that claims the file can produce the bit-identical result, and a
+duplicate execution (a false steal) converges on the same ``done/``
+record.  All records are sealed with the run journal's per-record
+sha256 (:func:`repro.analysis.checkpoint.seal_record`); a corrupt file
+is quarantined, never trusted.
+
+Lease protocol (the part that is easy to get wrong):
+
+1. **Claim** — rename ``jobs/<key>.json`` to
+   ``leases/<key>.g0.<owner>.json``.  The loser of a race gets
+   ``FileNotFoundError`` and moves on.
+2. **Heartbeat** — while holding any lease, the owner atomically
+   replaces ``hb/<owner>.json`` with a strictly increasing *beat
+   counter*.  No wall-clock timestamps cross the filesystem.
+3. **Steal** — a worker watching another owner's beat counter *not
+   change* for ``lease_ttl`` seconds of its **own** monotonic clock
+   declares that owner dead and renames the lease to
+   ``leases/<key>.g<gen+1>.<thief>.json``.  Renaming is the
+   arbitration: one thief wins, the rest get ``FileNotFoundError``.
+4. **Complete** — write ``done/<key>.json`` (atomic replace), then
+   unlink the lease.  A worker that died between the two leaves a
+   lease pointing at a finished job; claimers and thieves check
+   ``done/`` first and simply retire such leases.
+
+Clock-skew immunity falls out of step 3: staleness is judged purely by
+*local elapsed time since the observed counter last changed*, so hosts
+with fast, slow, or backwards clocks — and filesystems with lying
+mtimes — cannot cause a false steal or an immortal lease.  A revived
+owner whose lease was stolen discovers it harmlessly: its ``done/``
+write is idempotent (same key, same deterministic result) and its
+lease unlink finds the file already renamed away.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.checkpoint import record_intact, seal_record
+from repro.analysis.parallel import SimulationJob, job_from_dict, job_to_dict
+from repro.analysis.resilience import job_token
+
+#: Fraction of the lease TTL between heartbeat writes.  Four beats per
+#: TTL keeps a live owner comfortably ahead of any thief's staleness
+#: timer while costing one small atomic write per interval.
+_BEAT_FRACTION = 0.25
+
+
+def new_worker_id() -> str:
+    """A fresh filename-safe worker identity (also the heartbeat key)."""
+    return "w" + uuid.uuid4().hex[:8]
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One leased job: what to run and which lease file proves ownership."""
+
+    key: str
+    job: SimulationJob
+    token: str
+    path: Path
+    generation: int
+    stolen: bool = False
+
+
+def _atomic_write_json(path: Path, payload: Dict) -> None:
+    from repro.common.diskio import tmp_path_for
+
+    tmp = tmp_path_for(path)
+    try:
+        with open(tmp, "w") as fh:
+            json.dump(payload, fh)
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            tmp.unlink(missing_ok=True)
+        except OSError:
+            pass
+        raise
+
+
+def _load_json(path: Path) -> Optional[Dict]:
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return None
+    return data if isinstance(data, dict) else None
+
+
+class FileQueue:
+    """One sweep's job queue rooted at a shared directory.
+
+    Construct one instance per process; staleness observations (see the
+    module docstring) are per-instance local state by design.  Every
+    method is safe to call concurrently from any number of processes on
+    the same root.
+    """
+
+    def __init__(self, root: os.PathLike | str, lease_ttl: float = 30.0) -> None:
+        if lease_ttl <= 0:
+            raise ValueError(f"lease_ttl must be positive (got {lease_ttl})")
+        self.root = Path(root)
+        self.lease_ttl = float(lease_ttl)
+        self.jobs_dir = self.root / "jobs"
+        self.leases_dir = self.root / "leases"
+        self.done_dir = self.root / "done"
+        self.hb_dir = self.root / "hb"
+        self.stats_dir = self.root / "stats"
+        self.logs_dir = self.root / "logs"
+        for directory in (
+            self.jobs_dir, self.leases_dir, self.done_dir,
+            self.hb_dir, self.stats_dir, self.logs_dir,
+        ):
+            directory.mkdir(parents=True, exist_ok=True)
+        #: Done/job records rejected for a digest mismatch (read-side count).
+        self.quarantined = 0
+        #: owner -> (last observed beat payload, local monotonic time it
+        #: was first observed).  The only state stealing depends on.
+        self._observed: Dict[str, Tuple[Optional[int], float]] = {}
+        self._beats = 0
+        self._last_beat = 0.0
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, jobs: Sequence[SimulationJob]) -> int:
+        """Enqueue every job not already known; returns how many were new.
+
+        A key with a job file, a live lease, or a done record is skipped,
+        so resubmitting a sweep into an existing queue directory is the
+        resume path: only the missing work is added.
+        """
+        known = self.known_keys()
+        added = 0
+        for job in jobs:
+            key = job.key()
+            if key in known:
+                continue
+            record = seal_record({
+                "key": key,
+                "token": job_token(job),
+                "job": job_to_dict(job),
+            })
+            _atomic_write_json(self.jobs_dir / f"{key}.json", record)
+            known.add(key)
+            added += 1
+        return added
+
+    def known_keys(self) -> Set[str]:
+        keys = {p.stem for p in self.jobs_dir.glob("*.json")}
+        keys |= {p.name.split(".", 1)[0] for p in self.leases_dir.glob("*.json")}
+        keys |= {p.stem for p in self.done_dir.glob("*.json")}
+        return keys
+
+    # ------------------------------------------------------------------
+    # Heartbeats
+    # ------------------------------------------------------------------
+    def heartbeat(self, worker: str, force: bool = False) -> bool:
+        """Publish a fresh beat for ``worker`` (rate-limited to TTL/4).
+
+        The ``stale-lease`` fault site models a worker whose heartbeat
+        writes never reach the shared filesystem: a ``drop`` spec
+        suppresses the write, so the worker looks dead to its peers
+        while still running — exactly the condition work stealing must
+        survive.  Returns whether a beat actually landed.
+        """
+        from repro.common.faults import fault_point
+
+        now = time.monotonic()
+        if not force and now - self._last_beat < self.lease_ttl * _BEAT_FRACTION:
+            return False
+        spec = fault_point("stale-lease", key=worker, attempt=self._beats)
+        if spec is not None and spec.kind == "drop":
+            return False
+        self._beats += 1
+        self._last_beat = now
+        try:
+            _atomic_write_json(self.hb_dir / f"{worker}.json", {"worker": worker, "beats": self._beats})
+        except OSError:
+            return False
+        return True
+
+    def _read_beats(self, owner: str) -> Optional[int]:
+        data = _load_json(self.hb_dir / f"{owner}.json")
+        if data is None:
+            return None
+        beats = data.get("beats")
+        return beats if isinstance(beats, int) else None
+
+    def _owner_is_stale(self, owner: str) -> bool:
+        """Skew-immune staleness: has this owner's beat counter been
+        unchanged for ``lease_ttl`` seconds of *our* monotonic clock?"""
+        beats = self._read_beats(owner)
+        now = time.monotonic()
+        seen = self._observed.get(owner)
+        if seen is None or seen[0] != beats:
+            self._observed[owner] = (beats, now)
+            return False
+        return now - seen[1] >= self.lease_ttl
+
+    # ------------------------------------------------------------------
+    # Claiming and stealing
+    # ------------------------------------------------------------------
+    def _open_claim(self, path: Path, key: str, generation: int, stolen: bool) -> Optional[Claim]:
+        record = _load_json(path)
+        if record is None or not record_intact(record) or "job" not in record:
+            # A corrupt job file cannot be run; retire it loudly in the
+            # counters rather than crashing the drain loop.
+            self.quarantined += 1
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return None
+        try:
+            job = job_from_dict(record["job"])
+        except (KeyError, TypeError, ValueError):
+            self.quarantined += 1
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return None
+        token = record.get("token") or job_token(job)
+        return Claim(key=key, job=job, token=token, path=path, generation=generation, stolen=stolen)
+
+    def claim(self, worker: str, limit: int = 1) -> List[Claim]:
+        """Atomically claim up to ``limit`` unclaimed jobs for ``worker``."""
+        claims: List[Claim] = []
+        for path in sorted(self.jobs_dir.glob("*.json")):
+            if len(claims) >= limit:
+                break
+            key = path.stem
+            if self.is_done(key):
+                # Finished under a previous lease; retire the duplicate.
+                try:
+                    path.unlink(missing_ok=True)
+                except OSError:
+                    pass
+                continue
+            target = self.leases_dir / f"{key}.g0.{worker}.json"
+            try:
+                os.rename(path, target)
+            except FileNotFoundError:
+                continue  # another worker won this rename
+            except OSError:
+                continue
+            claim = self._open_claim(target, key, generation=0, stolen=False)
+            if claim is not None:
+                claims.append(claim)
+        return claims
+
+    def _parse_lease(self, path: Path) -> Optional[Tuple[str, int, str]]:
+        parts = path.name[: -len(".json")].split(".")
+        if len(parts) != 3 or not parts[1].startswith("g"):
+            return None
+        try:
+            generation = int(parts[1][1:])
+        except ValueError:
+            return None
+        return parts[0], generation, parts[2]
+
+    def leases(self) -> List[Tuple[str, int, str, Path]]:
+        """Every live lease as (key, generation, owner, path)."""
+        out = []
+        for path in sorted(self.leases_dir.glob("*.json")):
+            parsed = self._parse_lease(path)
+            if parsed is not None:
+                out.append((*parsed, path))
+        return out
+
+    def steal(self, worker: str, limit: int = 1) -> List[Claim]:
+        """Take over up to ``limit`` leases whose owners stopped beating.
+
+        Observation-only on the first sighting of any owner: a lease is
+        stealable only after this instance has watched the owner's beat
+        counter stay frozen for a full TTL on its own clock.
+        """
+        claims: List[Claim] = []
+        for key, generation, owner, path in self.leases():
+            if len(claims) >= limit:
+                break
+            if owner == worker:
+                continue
+            if self.is_done(key):
+                try:
+                    path.unlink(missing_ok=True)
+                except OSError:
+                    pass
+                continue
+            if not self._owner_is_stale(owner):
+                continue
+            target = self.leases_dir / f"{key}.g{generation + 1}.{worker}.json"
+            try:
+                os.rename(path, target)
+            except FileNotFoundError:
+                continue  # another thief won, or the owner completed
+            except OSError:
+                continue
+            claim = self._open_claim(target, key, generation=generation + 1, stolen=True)
+            if claim is not None:
+                claims.append(claim)
+        return claims
+
+    def release(self, claim: Claim) -> None:
+        """Return a claimed job to the unclaimed pool (graceful shutdown)."""
+        try:
+            os.rename(claim.path, self.jobs_dir / f"{claim.key}.json")
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    def complete(self, claim: Claim, record: Dict) -> None:
+        """Publish the outcome record for a claim and retire its lease.
+
+        The ``done/`` write lands before the lease unlink, so a crash
+        between the two strands only a lease pointing at finished work —
+        which every claimer and thief retires on sight.
+        """
+        record = dict(record)
+        record["key"] = claim.key
+        record["generation"] = claim.generation
+        seal_record(record)
+        _atomic_write_json(self.done_dir / f"{claim.key}.json", record)
+        try:
+            claim.path.unlink(missing_ok=True)
+        except OSError:
+            pass
+
+    def is_done(self, key: str) -> bool:
+        return (self.done_dir / f"{key}.json").exists()
+
+    def done_record(self, key: str) -> Optional[Dict]:
+        """The sealed outcome for ``key``, or ``None`` (missing/corrupt).
+
+        A record failing its digest is quarantined (counted and removed)
+        so the job becomes claimable again instead of being trusted.
+        """
+        path = self.done_dir / f"{key}.json"
+        record = _load_json(path)
+        if record is None:
+            return None
+        if not record_intact(record) or "ok" not in record:
+            self.quarantined += 1
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return None
+        return record
+
+    def collect_new(self, seen: Set[str]) -> Iterable[Tuple[str, Dict]]:
+        """Yield (key, record) for done records not in ``seen`` (updated)."""
+        for path in sorted(self.done_dir.glob("*.json")):
+            key = path.stem
+            if key in seen:
+                continue
+            record = self.done_record(key)
+            if record is None:
+                continue
+            seen.add(key)
+            yield key, record
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def outstanding(self) -> Tuple[int, int]:
+        """(unclaimed job files, live leases) — (0, 0) means fully drained."""
+        return (
+            sum(1 for _ in self.jobs_dir.glob("*.json")),
+            sum(1 for _ in self.leases_dir.glob("*.json")),
+        )
+
+    def counts(self) -> Dict[str, int]:
+        jobs, leases = self.outstanding()
+        return {
+            "jobs": jobs,
+            "leases": leases,
+            "done": sum(1 for _ in self.done_dir.glob("*.json")),
+            "quarantined": self.quarantined,
+        }
+
+    def write_stats(self, worker: str, stats: Dict) -> None:
+        """Publish a worker's drain statistics (read by ``bench --sweep``)."""
+        try:
+            _atomic_write_json(self.stats_dir / f"{worker}.json", stats)
+        except OSError:
+            pass
+
+    def read_stats(self) -> List[Dict]:
+        out = []
+        for path in sorted(self.stats_dir.glob("*.json")):
+            data = _load_json(path)
+            if data is not None:
+                out.append(data)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        c = self.counts()
+        return (
+            f"FileQueue({str(self.root)!r}, jobs={c['jobs']}, "
+            f"leases={c['leases']}, done={c['done']})"
+        )

@@ -9,11 +9,15 @@ Subcommands::
     repro-sim experiment --id f6 --insts 120000
     repro-sim sweep --workload wave5 --what history
     repro-sim sweep --workload wave5 --what history --resume run-1a2b3c4d5e
+    repro-sim sweep --workload wave5 --backend shared-fs --queue-workers 2
+    repro-sim worker --queue-dir /shared/q0
     repro-sim verify --workload em3d mcf --insts 12000
     repro-sim export --workload gcc --filter pa --format csv
     repro-sim bench --workload em3d --runs 5 --workers 0
     repro-sim bench --engines pipeline vector --insts 200000
     repro-sim bench --engines pipeline,vector,kernel --insts 200000
+    repro-sim bench --sweep --runs 24 --insts 4000
+    repro-sim bench --sweep --baseline BENCH_sweep.json --max-regress 0.25
     repro-sim bench --lint --runs 3
     repro-sim lint
     repro-sim lint --update-baseline
@@ -121,6 +125,21 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_backend(args: argparse.Namespace):
+    """Resolve the sweep's --backend/--queue-* flags into a backend spec."""
+    if args.backend == "shared-fs":
+        from repro.analysis.backend import SharedFSBackend
+
+        return SharedFSBackend(
+            queue_dir=args.queue_dir,
+            spawn=args.queue_workers,
+            batch=args.queue_batch,
+        )
+    if args.queue_dir or args.queue_workers is not None:
+        raise ValueError("--queue-dir/--queue-workers require --backend shared-fs")
+    return args.backend  # "pool" resolves via the registry; None defers to env
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.analysis.checkpoint import RunJournal, new_run_id
     from repro.analysis.resilience import JobsFailedError, RetryPolicy
@@ -129,6 +148,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     run_id = args.resume or new_run_id()
     journal = RunJournal.for_run(run_id)
     policy = RetryPolicy(max_attempts=max(1, args.retries + 1), timeout=args.timeout)
+    backend = _sweep_backend(args)
     if args.resume:
         done = len(journal.completed())
         print(f"resuming {run_id}: {done} job(s) already journaled")
@@ -145,7 +165,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             )
             results = sweep_history_sizes(
                 args.workload, cfg, n_insts=args.insts, seed=args.seed,
-                workers=args.workers, policy=policy, journal=journal,
+                workers=args.workers, policy=policy, journal=journal, backend=backend,
             )
             table = Table(
                 f"history-size sweep — {args.workload}", ["entries", "IPC", "good", "bad"]
@@ -155,7 +175,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         else:
             results = sweep_l1_ports(
                 args.workload, n_insts=args.insts, seed=args.seed,
-                workers=args.workers, policy=policy, journal=journal,
+                workers=args.workers, policy=policy, journal=journal, backend=backend,
             )
             table = Table(f"L1-port sweep — {args.workload}", ["ports", "IPC", "bad/good"])
             for ports, r in results.items():
@@ -180,6 +200,48 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
     print(f"run id: {run_id} (resume an interrupted sweep with --resume {run_id})")
     return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    """``repro-sim worker``: drain a shared-filesystem job queue.
+
+    Any number of these — on this host or on peers sharing the
+    directory — cooperate through atomic-rename lease claims; a worker
+    that dies mid-lease is detected by heartbeat silence and its work
+    stolen (see :mod:`repro.analysis.workqueue`).
+    """
+    from repro.analysis.parallel import _mark_pool_worker
+    from repro.analysis.resilience import RetryPolicy
+    from repro.analysis.worker import drain_queue
+    from repro.analysis.workqueue import FileQueue
+    from repro.trace.store import TraceStore
+
+    # A queue worker is a leaf: anything it runs must stay serial (no
+    # nested pools), and `exit` faults may hard-kill it like any pool
+    # worker.
+    _mark_pool_worker()
+    queue = FileQueue(args.queue_dir, lease_ttl=args.lease_ttl)
+    policy = RetryPolicy(max_attempts=max(1, args.retries + 1), timeout=args.timeout)
+    store = TraceStore(args.trace_store) if args.trace_store else None
+    stats = drain_queue(
+        queue,
+        worker=args.name,
+        batch=args.batch,
+        policy=policy,
+        trace_store=store,
+        poll=args.poll,
+        exit_when_empty=not args.keep_alive,
+        max_jobs=args.max_jobs,
+    )
+    print(
+        f"worker {stats.worker}: {stats.executed} job(s) "
+        f"({stats.claimed} claimed, {stats.stolen} stolen, {stats.failed} failed) "
+        f"in {stats.drain_s:.2f}s across {stats.groups} trace group(s), "
+        f"{stats.trace_reuses} trace reuse(s)"
+    )
+    for event in stats.degradations:
+        print(f"  degradation: {event}", file=sys.stderr)
+    return 0 if stats.failed == 0 else 1
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -447,7 +509,154 @@ def _bench_engines(args: argparse.Namespace, lint_health: dict | None = None) ->
             f"(min {summary['min_speedup']}x, max {summary['max_speedup']}x)"
         )
     print(f"wrote {out}")
-    return 0
+    return _apply_baseline(report, args)
+
+
+def _apply_baseline(report: dict, args: argparse.Namespace) -> int:
+    """The ``bench --baseline`` regression gate; 0 = no baseline or ok."""
+    if not args.baseline:
+        return 0
+    from repro.analysis.regression import compare_reports, load_baseline
+
+    gate = compare_reports(report, load_baseline(args.baseline), max_regress=args.max_regress)
+    print(gate.render())
+    return 0 if gate.ok else 1
+
+
+def _bench_sweep(args: argparse.Namespace, lint_health: dict | None = None) -> int:
+    """The ``bench --sweep`` axis: queue-backend throughput + amortization.
+
+    Times one job grid three ways — serial in-process, then through the
+    shared-FS queue backend at one and two workers — asserting along the
+    way that every drain is bit-identical to serial.  The report
+    (``BENCH_sweep.json`` by default) records jobs/sec per drain, the
+    measured warm-up amortization (mean first-of-trace-group job time
+    over mean rest-of-group time, from the workers' own stats files),
+    and the host CPU count, because queue speedup on a 1-CPU box comes
+    from I/O overlap and amortization, not parallel simulation — the
+    report must let a reader see that.
+    """
+    import json
+    import os
+    import tempfile
+    import time
+
+    from repro.analysis.backend import SharedFSBackend
+    from repro.analysis.parallel import SimulationJob, run_jobs
+    from repro.analysis.result_cache import ResultCache
+
+    workloads = [args.workload] if args.workload else ["em3d", "mcf"]
+    cfg = _finalize(
+        SimulationConfig.paper_default(FilterKind(args.filter)).with_warmup(args.insts // 3), args
+    )
+    # The grid varies the *config* (filter kind × history-table size) over
+    # a shared trace per workload, like a real sensitivity sweep — that is
+    # what makes per-worker trace-group amortization measurable.  Seeds
+    # only advance once a workload's config combinations are exhausted.
+    sizes = (1024, 2048, 4096, 8192, 16384)
+    kinds = (FilterKind.PA, FilterKind.PC)
+    per = max(1, args.runs // len(workloads))
+    jobs = []
+    for w in workloads:
+        for i in range(per):
+            kind = kinds[(i // len(sizes)) % len(kinds)]
+            cfg_i = cfg.with_filter(kind=kind, table_entries=sizes[i % len(sizes)])
+            seed = args.seed + i // (len(sizes) * len(kinds))
+            jobs.append(SimulationJob(w, cfg_i, args.insts, seed, engine=args.engine))
+
+    def fingerprints(results):
+        return [(r.cycles, r.instructions, r.prefetch) for r in results]
+
+    def amortization(stats_list):
+        first_s = sum(s.get("first_job_s", 0.0) for s in stats_list)
+        first_n = sum(s.get("first_jobs", 0) for s in stats_list)
+        rest_s = sum(s.get("rest_job_s", 0.0) for s in stats_list)
+        rest_n = sum(s.get("rest_jobs", 0) for s in stats_list)
+        if not first_n or not rest_n or not rest_s:
+            return None
+        return round((first_s / first_n) / (rest_s / rest_n), 2)
+
+    t0 = time.perf_counter()
+    serial = run_jobs(jobs, workers=1)
+    t_serial = time.perf_counter() - t0
+    expected = fingerprints(serial)
+    drains = [
+        {
+            "label": "serial",
+            "workers": 1,
+            "seconds": round(t_serial, 3),
+            "jobs_per_sec": round(len(jobs) / t_serial, 3),
+            "speedup_vs_serial": 1.0,
+        }
+    ]
+    print(f"serial        {len(jobs)} jobs in {t_serial:.2f}s")
+
+    identical = True
+    worker_counts = sorted({1, 2} | ({args.workers} if args.workers > 2 else set()))
+    cache_stats = None
+    for n_workers in worker_counts:
+        with tempfile.TemporaryDirectory() as scratch:
+            backend = SharedFSBackend(
+                queue_dir=scratch + "/queue",
+                spawn=n_workers - 1,
+                lease_ttl=15.0,
+                batch=max(2, len(jobs) // (2 * n_workers)),
+            )
+            cache = None if args.no_cache else ResultCache(args.cache_dir or scratch + "/cache")
+            t0 = time.perf_counter()
+            results = run_jobs(jobs, workers=1, cache=cache, backend=backend)
+            seconds = time.perf_counter() - t0
+            identical = identical and fingerprints(results) == expected
+            stats_list = backend.last_worker_stats or [backend.last_parent_stats]
+            if cache is not None:
+                cache_stats = cache.stats
+            label = f"shared-fs[{n_workers}w]"
+            drains.append(
+                {
+                    "label": label,
+                    "workers": n_workers,
+                    "seconds": round(seconds, 3),
+                    "jobs_per_sec": round(len(jobs) / seconds, 3),
+                    "speedup_vs_serial": round(t_serial / seconds, 2),
+                    "amortization_first_vs_rest": amortization(stats_list),
+                    "trace_reuses": sum(s.get("trace_reuses", 0) for s in stats_list),
+                    "stolen": sum(s.get("stolen", 0) for s in stats_list),
+                    "queue_counts": backend.last_counts,
+                    "worker_stats": stats_list,
+                }
+            )
+            print(
+                f"{label:13s} {len(jobs)} jobs in {seconds:.2f}s "
+                f"({t_serial / seconds:.2f}x vs serial, "
+                f"amortization {amortization(stats_list)})"
+            )
+
+    report = {
+        "workloads": workloads,
+        "filter": args.filter,
+        "engine": args.engine or "pipeline",
+        "jobs": len(jobs),
+        "insts_per_run": args.insts,
+        "seed": args.seed,
+        # Honesty marker: on a 1-CPU host, multi-worker speedup can only
+        # come from I/O overlap + amortization, not parallel simulation.
+        "cpu_count": os.cpu_count(),
+        "drains": drains,
+        "results_identical": identical,
+    }
+    if cache_stats is not None:
+        report["cache"] = cache_stats
+    if lint_health is not None:
+        report["lint"] = lint_health
+    out = args.out or "BENCH_sweep.json"
+    with open(out, "w") as fh:
+        json.dump(report, fh, indent=1)
+        fh.write("\n")
+    print(f"wrote {out}")
+    if not identical:
+        print("bench --sweep: drained results are NOT identical to serial", file=sys.stderr)
+        return 1
+    return _apply_baseline(report, args)
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -492,6 +701,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             )
             return 1
 
+    if args.engines and args.sweep:
+        raise ValueError("--engines and --sweep are different bench axes; pick one")
     if args.engines:
         # Accept both `--engines a b` and `--engines a,b,c`; validated here
         # (not via argparse choices) so the comma form gets the same message.
@@ -503,6 +714,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 f"choose from {', '.join(KNOWN_ENGINES)}"
             )
         return _bench_engines(args, lint_health)
+    if args.sweep:
+        return _bench_sweep(args, lint_health)
 
     workload = args.workload or "em3d"
     cfg = _finalize(
@@ -575,7 +788,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     else:
         for key, value in report.items():
             print(f"{key:24} {value}")
-    return 0 if identical else 1
+    if not identical:
+        return 1
+    return _apply_baseline(report, args)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -628,8 +843,61 @@ def main(argv: Sequence[str] | None = None) -> int:
     p_swp.add_argument(
         "--timeout", type=float, default=None, help="per-job wall-clock timeout in seconds"
     )
+    p_swp.add_argument(
+        "--backend", choices=["pool", "shared-fs"], default=None,
+        help="execution backend (default: REPRO_BACKEND env, else the in-process pool)",
+    )
+    p_swp.add_argument(
+        "--queue-dir", default=None,
+        help="shared-fs backend: queue root directory shared with external workers "
+        "(default: a throwaway directory)",
+    )
+    p_swp.add_argument(
+        "--queue-workers", type=int, default=None,
+        help="shared-fs backend: local worker processes to spawn "
+        "(default: workers - 1; the sweep process itself also drains)",
+    )
+    p_swp.add_argument(
+        "--queue-batch", type=int, default=8,
+        help="shared-fs backend: jobs claimed per worker per round (the "
+        "trace-amortization batch size)",
+    )
     _add_common(p_swp)
     p_swp.set_defaults(func=_cmd_sweep)
+
+    p_wk = sub.add_parser(
+        "worker",
+        help="drain a shared-filesystem sweep queue (start any number, anywhere "
+        "the directory is visible)",
+    )
+    p_wk.add_argument("--queue-dir", required=True, help="queue root directory")
+    p_wk.add_argument("--name", default=None, help="worker identity (default: generated)")
+    p_wk.add_argument(
+        "--batch", type=int, default=8,
+        help="jobs claimed per round; grouped by (engine, trace) so each group "
+        "pays trace acquisition once",
+    )
+    p_wk.add_argument(
+        "--lease-ttl", type=float, default=30.0,
+        help="seconds of heartbeat silence before this worker's leases become stealable",
+    )
+    p_wk.add_argument("--poll", type=float, default=0.2, help="idle poll interval in seconds")
+    p_wk.add_argument("--retries", type=int, default=1, help="retries per failed job")
+    p_wk.add_argument(
+        "--timeout", type=float, default=None, help="per-job wall-clock timeout in seconds"
+    )
+    p_wk.add_argument(
+        "--keep-alive", action="store_true",
+        help="keep draining after the queue empties (standing worker); stop externally",
+    )
+    p_wk.add_argument(
+        "--max-jobs", type=int, default=None, help="exit after this many executions"
+    )
+    p_wk.add_argument(
+        "--trace-store", default=None,
+        help="on-disk trace store directory (default: synthesise traces in-process)",
+    )
+    p_wk.set_defaults(func=_cmd_worker)
 
     p_vf = sub.add_parser(
         "verify",
@@ -688,6 +956,21 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--lint", action="store_true",
         help="run the static analyzer first and refuse to bench a dirty tree; "
         "the report gains a 'lint' health-counter block",
+    )
+    p_bn.add_argument(
+        "--sweep", action="store_true",
+        help="sweep-backend axis: time a job grid serial vs through the "
+        "shared-FS queue at 1 and 2 workers, verify bit-identical results, "
+        "and record the warm-up amortization; writes BENCH_sweep.json",
+    )
+    p_bn.add_argument(
+        "--baseline", default=None, metavar="BENCH_JSON",
+        help="compare this bench's report against a previous BENCH_*.json and "
+        "fail on a geomean throughput regression beyond --max-regress",
+    )
+    p_bn.add_argument(
+        "--max-regress", type=float, default=0.25,
+        help="allowed fractional geomean slowdown vs --baseline (default 0.25)",
     )
     _add_common(p_bn)
     p_bn.set_defaults(func=_cmd_bench)

@@ -355,6 +355,53 @@ class SimulationConfig:
     def with_sanitize(self, enabled: bool = True) -> "SimulationConfig":
         return replace(self, sanitize=enabled)
 
+    # ------------------------------------------------------------------
+    # Plain-dict round trip (shared-FS work queue, job files)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """The config as JSON-serialisable plain data (enums by value).
+
+        Unlike :func:`repro.analysis.result_cache.config_fingerprint`
+        this keeps every field (including ``sanitize``) — it is a full
+        round trip for shipping configs through queue files, not a cache
+        key.  :meth:`from_dict` inverts it exactly.
+        """
+        import dataclasses as _dc
+
+        def canonical(obj: Any) -> Any:
+            if isinstance(obj, enum.Enum):
+                return obj.value
+            if isinstance(obj, dict):
+                return {str(k): canonical(v) for k, v in obj.items()}
+            if isinstance(obj, (list, tuple)):
+                return [canonical(v) for v in obj]
+            return obj
+
+        return canonical(_dc.asdict(self))
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulationConfig":
+        """Rebuild a config from :meth:`to_dict` output (validates on build)."""
+        filter_fields = dict(data["filter"])
+        filter_fields["kind"] = FilterKind(filter_fields["kind"])
+        return cls(
+            processor=ProcessorConfig(**data["processor"]),
+            hierarchy=HierarchyConfig(
+                l1=CacheConfig(**data["hierarchy"]["l1"]),
+                l2=CacheConfig(**data["hierarchy"]["l2"]),
+                memory_latency=data["hierarchy"]["memory_latency"],
+                bus_bytes=data["hierarchy"]["bus_bytes"],
+                mshr_entries=data["hierarchy"]["mshr_entries"],
+            ),
+            prefetch=PrefetchConfig(**data["prefetch"]),
+            filter=FilterConfig(**filter_fields),
+            prefetch_buffer=PrefetchBufferConfig(**data["prefetch_buffer"]),
+            max_instructions=data.get("max_instructions"),
+            warmup_instructions=data.get("warmup_instructions", 0),
+            engine=data.get("engine", "pipeline"),
+            sanitize=data.get("sanitize", False),
+        )
+
     def describe(self) -> str:
         """Render the configuration as a Table 1-style text block."""
         p, h, f = self.processor, self.hierarchy, self.filter

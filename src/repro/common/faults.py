@@ -39,6 +39,9 @@ Kinds and where they fire:
 * ``exit`` — hard-kill the process via ``os._exit`` **only when inside
   a pool worker** (breaks the process pool); outside a worker it
   degrades to ``raise`` so a serial test run cannot kill pytest.
+* ``drop`` — returned to the call site, which suppresses the site's
+  side effect (e.g. a ``stale-lease`` heartbeat write that never lands
+  on the shared filesystem, so the lease goes stale and is stolen).
 * ``corrupt-cache`` — returned to the call site, which garbles the
   just-written cache entry (exercises quarantine counters).
 * ``corrupt-artifact`` — returned to the call site, which rewrites the
@@ -82,6 +85,7 @@ KINDS = (
     "raise",
     "hang",
     "exit",
+    "drop",
     "corrupt-cache",
     "corrupt-artifact",
     "invariant-trip",
@@ -101,6 +105,8 @@ SITES = {
     "shm": "the POSIX shared-memory facility being unavailable on the host",
     "journal": "a run-journal line corrupted between append and --resume replay",
     "sanitizer": "live model state corrupted immediately before an invariant sweep",
+    "worker-death": "a queue worker process dying mid-lease (OOM-kill, host loss)",
+    "stale-lease": "a queue worker's heartbeat writes never reaching the shared FS",
 }
 
 

@@ -1,0 +1,137 @@
+"""Distributed smoke: two real worker processes drain a 200+ job sweep.
+
+This is the end-to-end distributed story in one test module: a parent
+submits a large sweep to a shared-filesystem queue, two independent
+``repro-sim worker`` processes (separate interpreters, no shared state
+beyond the queue directory) drain it cooperatively, and the merged
+done-records feed a :class:`RunJournal` that a subsequent in-process
+``run_jobs`` accepts wholesale — with spot-checked jobs bit-identical
+to direct serial execution.
+
+CI runs this module as its own "distributed" job; it also rides along
+in the tier-1 suite because it only needs ``python`` and a tmpdir.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis.checkpoint import RunJournal
+from repro.analysis.parallel import SimulationJob, run_jobs
+from repro.analysis.result_cache import result_from_dict
+from repro.analysis.workqueue import FileQueue
+from repro.common.config import FilterKind, SimulationConfig
+
+N = 600  # tiny per-job workloads: the point is job *count*, not length
+
+SIZES = (128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536)
+BITS = (2, 3, 4, 5, 6)
+KINDS = (FilterKind.PA, FilterKind.PC)
+WORKLOADS = ("em3d", "mcf")
+
+
+def _sweep_jobs(n):
+    """``n`` distinct-key jobs over only TWO traces (one per workload).
+
+    All the variation lives in filter geometry, so workers can amortize
+    trace acquisition across nearly every job in a claimed batch.
+    """
+    jobs = []
+    for i in range(n):
+        workload = WORKLOADS[i % len(WORKLOADS)]
+        kind = KINDS[(i // len(WORKLOADS)) % len(KINDS)]
+        cfg = SimulationConfig.paper_default(kind).with_warmup(N // 4)
+        cfg = cfg.with_filter(
+            table_entries=SIZES[(i // (len(WORKLOADS) * len(KINDS))) % len(SIZES)],
+            counter_bits=BITS[(i // (len(WORKLOADS) * len(KINDS) * len(SIZES))) % len(BITS)],
+        )
+        jobs.append(SimulationJob(workload, cfg, N, seed=0))
+    assert len({j.key() for j in jobs}) == n
+    return jobs
+
+
+def _fingerprint(result):
+    return (
+        result.trace_name,
+        result.filter_name,
+        result.instructions,
+        result.cycles,
+        result.prefetch,
+        result.per_source,
+        tuple(sorted(result.stats.flat().items())),
+    )
+
+
+def _spawn_worker(queue_dir, name):
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("REPRO_FAULTS", None)
+    env.pop("REPRO_BACKEND", None)
+    cmd = [
+        sys.executable, "-m", "repro.cli", "worker",
+        "--queue-dir", str(queue_dir),
+        "--name", name,
+        "--batch", "16",
+        "--lease-ttl", "10.0",
+        "--poll", "0.1",
+    ]
+    return subprocess.Popen(
+        cmd, env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True
+    )
+
+
+def test_two_workers_drain_a_200_job_sweep_and_the_journal_verifies(tmp_path):
+    jobs = _sweep_jobs(200)
+    queue = FileQueue(tmp_path / "queue", lease_ttl=10.0)
+    assert queue.submit(jobs) == 200
+
+    procs = [_spawn_worker(queue.root, f"smoke{i}") for i in range(2)]
+    outputs = []
+    try:
+        for proc in procs:
+            out, _ = proc.communicate(timeout=600)
+            outputs.append(out)
+            assert proc.returncode == 0, out
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.kill()
+
+    # the queue is fully drained, nothing quarantined, nothing leaked
+    assert queue.outstanding() == (0, 0)
+    counts = queue.counts()
+    assert counts["done"] == 200 and counts["quarantined"] == 0
+
+    # both processes did real work and each trace was acquired frugally
+    stats = {s["worker"]: s for s in queue.read_stats()}
+    assert set(stats) == {"smoke0", "smoke1"}
+    executed = {w: s["executed"] for w, s in stats.items()}
+    assert sum(executed.values()) == 200
+    assert all(s["failed"] == 0 for s in stats.values())
+    total_reuses = sum(s["trace_reuses"] for s in stats.values())
+    total_groups = sum(s["groups"] for s in stats.values())
+    assert total_reuses == 200 - total_groups
+    assert total_reuses > 100  # amortization actually happened
+
+    # merge the done-records into a journal, as a coordinating parent would
+    journal = RunJournal(tmp_path / "merged.jsonl")
+    merged = 0
+    for key, record in queue.collect_new(set()):
+        assert record["ok"], record
+        journal.record_success(key, result_from_dict(record["result"]))
+        merged += 1
+    assert merged == 200
+
+    # the merged journal satisfies the whole sweep without re-running
+    report = run_jobs(jobs, workers=1, journal=journal, return_report=True)
+    assert len(report.outcomes) == 200
+    assert all(o.ok and o.from_journal for o in report.outcomes)
+
+    # spot-check: queue-computed results are bit-identical to direct runs
+    sample = jobs[::23]
+    direct = run_jobs(sample, workers=1)
+    by_key = {o.key: o.result for o in report.outcomes}
+    for job, expected in zip(sample, direct):
+        assert _fingerprint(by_key[job.key()]) == _fingerprint(expected)

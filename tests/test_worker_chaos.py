@@ -1,0 +1,286 @@
+"""Chaos suite for the queue worker: death, stale leases, recovery.
+
+The promises under test, end to end:
+
+* a worker that dies mid-lease (in-process ``raise`` or a real
+  ``os._exit`` in a spawned ``repro-sim worker``) loses nothing — its
+  leases go stale and are stolen, and the finished sweep is
+  bit-identical to a serial run;
+* a worker whose heartbeats never land (``drop@stale-lease``) is
+  indistinguishable from a dead one, its work is stolen, and the
+  duplicate execution that follows converges on the same sealed record;
+* batch claims amortize trace acquisition across a (engine, trace)
+  group, measurably.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.parallel import SimulationJob, execute_job, run_jobs
+from repro.analysis.resilience import RetryPolicy
+from repro.analysis.result_cache import result_from_dict, result_to_dict
+from repro.analysis.worker import drain_queue
+from repro.analysis.workqueue import FileQueue
+from repro.common.config import FilterKind, SimulationConfig
+from repro.common.faults import FaultInjected, inject_faults
+
+N = 1_500
+
+FAST = dict(backoff_base=0.02, backoff_max=0.1, jitter=0.25)
+
+
+def _jobs(n, workload="em3d"):
+    cfg = SimulationConfig.paper_default(FilterKind.PA).with_warmup(N // 4)
+    sizes = (1024, 2048, 4096, 8192, 16384)
+    return [
+        SimulationJob(workload, cfg.with_filter(table_entries=sizes[i % 5]), N, seed=i // 5)
+        for i in range(n)
+    ]
+
+
+def _fingerprint(result):
+    return (
+        result.trace_name,
+        result.filter_name,
+        result.instructions,
+        result.cycles,
+        result.prefetch,
+        result.per_source,
+        tuple(sorted(result.stats.flat().items())),
+    )
+
+
+def _drained_fingerprints(queue, jobs):
+    """key -> fingerprint for every done record, rebuilt like the backend does."""
+    by_key = {}
+    for key, record in queue.collect_new(set()):
+        assert record["ok"], record
+        by_key[key] = _fingerprint(result_from_dict(record["result"]))
+    return [by_key[job.key()] for job in jobs]
+
+
+# ----------------------------------------------------------------------
+# In-process worker death (raise@worker-death)
+# ----------------------------------------------------------------------
+def test_death_mid_lease_is_stolen_and_resumes_bit_identically(tmp_path):
+    jobs = _jobs(6)
+    serial = [_fingerprint(r) for r in run_jobs(jobs, workers=1)]
+
+    queue = FileQueue(tmp_path / "q", lease_ttl=0.4)
+    queue.submit(jobs)
+    # the third execution kills the worker with its batch's leases held
+    with inject_faults("raise@worker-death:attempts=2"):
+        with pytest.raises(FaultInjected):
+            drain_queue(queue, worker="doomed", batch=2, poll=0.05)
+    done_before, held = queue.counts()["done"], queue.counts()["leases"]
+    assert done_before == 2 and held >= 1
+
+    rescue = FileQueue(tmp_path / "q", lease_ttl=0.4)  # fresh observer state
+    stats = drain_queue(rescue, worker="rescuer", batch=4, poll=0.05)
+    assert stats.stolen == held  # the dead worker's leases were stolen
+    assert rescue.counts() == {"jobs": 0, "leases": 0, "done": 6, "quarantined": 0}
+    assert _drained_fingerprints(rescue, jobs) == serial
+
+
+def test_dead_workers_stats_record_the_steal(tmp_path):
+    jobs = _jobs(3)
+    queue = FileQueue(tmp_path / "q", lease_ttl=0.3)
+    queue.submit(jobs)
+    with inject_faults("raise@worker-death:attempts=0"):
+        with pytest.raises(FaultInjected):
+            drain_queue(queue, worker="doomed", batch=3, poll=0.05)
+    rescue = FileQueue(tmp_path / "q", lease_ttl=0.3)
+    drain_queue(rescue, worker="rescuer", batch=3, poll=0.05)
+    stats = {s["worker"]: s for s in rescue.read_stats()}
+    assert stats["doomed"]["executed"] == 0
+    assert stats["rescuer"]["stolen"] == 3 and stats["rescuer"]["failed"] == 0
+
+
+# ----------------------------------------------------------------------
+# Real process death (exit@worker-death in a spawned repro-sim worker)
+# ----------------------------------------------------------------------
+def _worker_cmd(queue_dir, *extra):
+    return [
+        sys.executable, "-m", "repro.cli", "worker",
+        "--queue-dir", str(queue_dir),
+        "--lease-ttl", "0.4", "--batch", "2", "--poll", "0.05",
+        *extra,
+    ]
+
+
+def _worker_env(faults=None):
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("REPRO_FAULTS", None)
+    env.pop("REPRO_BACKEND", None)
+    if faults:
+        env["REPRO_FAULTS"] = faults
+    return env
+
+
+def test_hard_killed_subprocess_worker_is_recovered(tmp_path):
+    jobs = _jobs(6)
+    serial = [_fingerprint(r) for r in run_jobs(jobs, workers=1)]
+    queue = FileQueue(tmp_path / "q", lease_ttl=0.4)
+    queue.submit(jobs)
+
+    proc = subprocess.run(
+        _worker_cmd(queue.root, "--name", "victim"),
+        env=_worker_env(faults="exit@worker-death:attempts=2"),
+        capture_output=True, timeout=120,
+    )
+    assert proc.returncode == 70  # os._exit(70): a genuinely hard death
+    assert queue.counts()["leases"] >= 1  # died holding its batch
+
+    rescue = FileQueue(tmp_path / "q", lease_ttl=0.4)
+    stats = drain_queue(rescue, worker="rescuer", batch=4, poll=0.05)
+    assert stats.stolen >= 1
+    assert rescue.outstanding() == (0, 0)
+    assert _drained_fingerprints(rescue, jobs) == serial
+
+
+def test_clean_subprocess_worker_drains_and_reports(tmp_path):
+    jobs = _jobs(4)
+    queue = FileQueue(tmp_path / "q", lease_ttl=1.0)
+    queue.submit(jobs)
+    proc = subprocess.run(
+        _worker_cmd(queue.root, "--name", "solo"),
+        env=_worker_env(), capture_output=True, text=True, timeout=120,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "4 job(s)" in proc.stdout
+    assert queue.counts()["done"] == 4
+
+
+# ----------------------------------------------------------------------
+# Stale heartbeats (drop@stale-lease): alive but invisible
+# ----------------------------------------------------------------------
+def test_silent_worker_looks_dead_and_duplicate_completion_converges(tmp_path):
+    jobs = _jobs(2)
+    queue = FileQueue(tmp_path / "q", lease_ttl=0.3)
+    queue.submit(jobs)
+    # "silent" claims both jobs but its heartbeats never reach the FS —
+    # from everyone else's perspective it is dead the moment it claims.
+    silent = FileQueue(tmp_path / "q", lease_ttl=0.3)
+    with inject_faults("drop@stale-lease"):
+        silent.heartbeat("silent", force=True)
+        claims = silent.claim("silent", limit=2)
+    assert len(claims) == 2 and not (silent.hb_dir / "silent.json").exists()
+
+    thief = FileQueue(tmp_path / "q", lease_ttl=0.3)
+    stats = drain_queue(thief, worker="thief", batch=2, poll=0.05)
+    assert stats.stolen == 2 and stats.executed == 2
+
+    # the silent worker revives and completes its (long stolen) claims:
+    # pure jobs make the duplicate write converge on identical payloads.
+    before = {c.key: thief.done_record(c.key)["result"] for c in claims}
+    for claim in claims:
+        result = execute_job(claim.job)
+        silent.complete(
+            claim, {"ok": True, "result": result_to_dict(result), "attempts": []}
+        )
+    for claim in claims:
+        record = thief.done_record(claim.key)
+        assert record is not None  # still sealed and intact after overwrite
+        assert record["result"] == before[claim.key]
+
+
+def test_drain_survives_total_heartbeat_blackout(tmp_path):
+    """A lone worker with no working heartbeats still finishes its queue."""
+    jobs = _jobs(3)
+    queue = FileQueue(tmp_path / "q", lease_ttl=0.3)
+    queue.submit(jobs)
+    with inject_faults("drop@stale-lease"):
+        stats = drain_queue(queue, worker="mute", batch=2, poll=0.05)
+    assert stats.executed == 3 and stats.failed == 0
+    assert not list(queue.hb_dir.glob("*.json"))
+
+
+# ----------------------------------------------------------------------
+# Batch amortization
+# ----------------------------------------------------------------------
+def test_batch_groups_acquire_each_trace_once(tmp_path):
+    # five configs over ONE trace + two configs over another
+    jobs = _jobs(5) + _jobs(2, workload="mcf")
+    queue = FileQueue(tmp_path / "q", lease_ttl=5.0)
+    queue.submit(jobs)
+    stats = drain_queue(queue, worker="w", batch=7, poll=0.05)
+    assert stats.executed == 7
+    assert stats.groups == 2  # one per (engine, trace), not one per job
+    assert stats.trace_reuses == 5
+    assert stats.first_jobs == 2 and stats.rest_jobs == 5
+    assert stats.first_job_s > 0 and stats.rest_job_s > 0
+
+
+def test_retry_policy_applies_inside_the_worker(tmp_path):
+    jobs = _jobs(2)
+    serial = [_fingerprint(r) for r in run_jobs(jobs, workers=1)]
+    queue = FileQueue(tmp_path / "q", lease_ttl=5.0)
+    queue.submit(jobs)
+    with inject_faults("raise@worker:attempts=0"):
+        stats = drain_queue(
+            queue, worker="w", batch=2, poll=0.05,
+            policy=RetryPolicy(max_attempts=2, **FAST),
+        )
+    assert stats.executed == 2 and stats.failed == 0
+    records = dict(queue.collect_new(set()))
+    assert all(len(r["attempts"]) == 1 for r in records.values())
+    assert _drained_fingerprints(queue, jobs) == serial
+
+
+def test_worker_stats_file_is_valid_json_with_amortization_fields(tmp_path):
+    jobs = _jobs(3)
+    queue = FileQueue(tmp_path / "q", lease_ttl=5.0)
+    queue.submit(jobs)
+    drain_queue(queue, worker="w", batch=3, poll=0.05)
+    stats = json.loads((queue.stats_dir / "w.json").read_text())
+    for field in ("claimed", "stolen", "executed", "groups", "trace_reuses",
+                  "first_job_s", "rest_job_s", "first_jobs", "rest_jobs", "drain_s"):
+        assert field in stats
+    assert stats["drain_s"] > 0
+
+
+def test_max_jobs_bounds_a_drain(tmp_path):
+    jobs = _jobs(5)
+    queue = FileQueue(tmp_path / "q", lease_ttl=5.0)
+    queue.submit(jobs)
+    stats = drain_queue(queue, worker="canary", batch=2, poll=0.05, max_jobs=3)
+    assert stats.executed == 3
+    assert queue.counts()["done"] == 3 and queue.counts()["jobs"] == 2
+
+
+def test_two_sequential_workers_split_the_queue_without_overlap(tmp_path):
+    jobs = _jobs(6)
+    queue = FileQueue(tmp_path / "q", lease_ttl=5.0)
+    queue.submit(jobs)
+    first = drain_queue(queue, worker="w1", batch=2, poll=0.05, max_jobs=4)
+    second = drain_queue(
+        FileQueue(tmp_path / "q", lease_ttl=5.0), worker="w2", batch=2, poll=0.05
+    )
+    assert first.executed + second.executed == 6
+    assert second.stolen == 0  # nothing stale: w1 exited cleanly
+    assert queue.counts()["done"] == 6
+
+
+def test_elapsed_time_is_wall_clock_not_cross_host(tmp_path):
+    """The drain must finish even when a *different* instance saw a
+    fresher heartbeat earlier — per-instance observation state only."""
+    jobs = _jobs(1)
+    queue = FileQueue(tmp_path / "q", lease_ttl=0.25)
+    queue.submit(jobs)
+    queue.claim("ghost", limit=1)
+    observer_a = FileQueue(tmp_path / "q", lease_ttl=0.25)
+    assert observer_a.steal("a", limit=1) == []  # starts a's timer
+    observer_b = FileQueue(tmp_path / "q", lease_ttl=0.25)
+    assert observer_b.steal("b", limit=1) == []  # b's timer independent
+    time.sleep(0.3)
+    # both are now past THEIR OWN ttl; exactly one rename can win
+    stolen = observer_a.steal("a", limit=1) + observer_b.steal("b", limit=1)
+    assert len(stolen) == 1

@@ -1,0 +1,277 @@
+"""FileQueue protocol: atomic claims, skew-immune stealing, sealed records.
+
+These tests exercise the queue as a *protocol*, mostly without running
+simulations: several FileQueue instances on one directory stand in for
+workers on different hosts, and staleness is driven by real (short)
+lease TTLs.  Chaos paths that need actual workers live in
+``test_worker_chaos.py``.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.analysis.parallel import SimulationJob
+from repro.analysis.workqueue import Claim, FileQueue, new_worker_id
+from repro.common.config import FilterKind, SimulationConfig
+from repro.common.faults import inject_faults
+
+
+def _jobs(n, workload="em3d", n_insts=2_000):
+    cfg = SimulationConfig.paper_default(FilterKind.PA)
+    sizes = (1024, 2048, 4096, 8192, 16384)
+    return [
+        SimulationJob(workload, cfg.with_filter(table_entries=sizes[i % 5]), n_insts, seed=i // 5)
+        for i in range(n)
+    ]
+
+
+@pytest.fixture
+def queue(tmp_path):
+    return FileQueue(tmp_path / "q", lease_ttl=0.3)
+
+
+# ----------------------------------------------------------------------
+# Submission
+# ----------------------------------------------------------------------
+def test_submit_writes_one_sealed_file_per_key(queue):
+    jobs = _jobs(4)
+    assert queue.submit(jobs) == 4
+    files = sorted(queue.jobs_dir.glob("*.json"))
+    assert len(files) == 4
+    record = json.loads(files[0].read_text())
+    assert record["sha256"] and record["v"] == 1
+    assert {f.stem for f in files} == {j.key() for j in jobs}
+
+
+def test_resubmit_is_idempotent_across_states(queue):
+    jobs = _jobs(3)
+    queue.submit(jobs)
+    # one claimed, one done, one still queued: resubmitting adds nothing
+    claims = queue.claim("w1", limit=1)
+    done = queue.claim("w1", limit=1)
+    queue.complete(done[0], {"ok": True, "result": {}, "attempts": []})
+    assert queue.submit(jobs) == 0
+    assert queue.submit(jobs + _jobs(1, workload="mcf")) == 1
+    queue.release(claims[0])
+
+
+def test_duplicate_jobs_submit_once(queue):
+    job = _jobs(1)[0]
+    assert queue.submit([job, job, job]) == 1
+
+
+# ----------------------------------------------------------------------
+# Claiming
+# ----------------------------------------------------------------------
+def test_racing_claimers_never_share_a_job(queue):
+    queue.submit(_jobs(10))
+    a = queue.claim("wa", limit=10)
+    b = queue.claim("wb", limit=10)
+    taken_a = {c.key for c in a}
+    taken_b = {c.key for c in b}
+    assert not (taken_a & taken_b)
+    assert len(taken_a | taken_b) == 10
+    # ownership and generation are embedded in the lease filename
+    for claim in a:
+        assert claim.path.name.endswith(".g0.wa.json")
+        assert claim.generation == 0 and not claim.stolen
+
+
+def test_claim_skips_and_retires_already_done_keys(queue):
+    jobs = _jobs(2)
+    queue.submit(jobs)
+    claim = queue.claim("w1", limit=1)[0]
+    queue.complete(claim, {"ok": True, "result": {}, "attempts": []})
+    # simulate a resubmitted duplicate of the finished job
+    queue.submit([c for c in jobs if c.key() == claim.key] or jobs[:1])
+    (queue.jobs_dir / f"{claim.key}.json").write_text(
+        json.dumps({"key": claim.key, "job": {}, "v": 1})
+    )
+    claims = queue.claim("w2", limit=10)
+    assert claim.key not in {c.key for c in claims}
+    assert not (queue.jobs_dir / f"{claim.key}.json").exists()
+
+
+def test_corrupt_job_file_is_quarantined_not_run(queue):
+    queue.submit(_jobs(1))
+    path = next(queue.jobs_dir.glob("*.json"))
+    record = json.loads(path.read_text())
+    record["job"]["n_insts"] = 999_999  # tampered: digest no longer matches
+    path.write_text(json.dumps(record))
+    assert queue.claim("w1", limit=1) == []
+    assert queue.quarantined == 1
+    assert queue.outstanding() == (0, 0)
+
+
+def test_release_returns_job_to_pool(queue):
+    queue.submit(_jobs(1))
+    claim = queue.claim("w1", limit=1)[0]
+    assert queue.outstanding() == (0, 1)
+    queue.release(claim)
+    assert queue.outstanding() == (1, 0)
+    assert queue.claim("w2", limit=1)[0].key == claim.key
+
+
+# ----------------------------------------------------------------------
+# Heartbeats and stealing
+# ----------------------------------------------------------------------
+def test_heartbeat_is_rate_limited_and_forceable(queue):
+    assert queue.heartbeat("w1", force=True)
+    assert not queue.heartbeat("w1")  # within TTL/4 of the last beat
+    assert queue.heartbeat("w1", force=True)
+    beats = json.loads((queue.hb_dir / "w1.json").read_text())["beats"]
+    assert beats == 2
+
+
+def test_steal_requires_a_full_ttl_of_observed_silence(queue, tmp_path):
+    queue.submit(_jobs(1))
+    owner = FileQueue(tmp_path / "q", lease_ttl=0.3)
+    owner.claim("w1", limit=1)
+    owner.heartbeat("w1", force=True)
+    thief = FileQueue(tmp_path / "q", lease_ttl=0.3)
+    # first sighting only starts the thief's local observation timer
+    assert thief.steal("w2", limit=1) == []
+    time.sleep(0.35)
+    stolen = thief.steal("w2", limit=1)
+    assert len(stolen) == 1
+    assert stolen[0].stolen and stolen[0].generation == 1
+    assert stolen[0].path.name.endswith(".g1.w2.json")
+
+
+def test_live_heartbeats_prevent_stealing(queue, tmp_path):
+    queue.submit(_jobs(1))
+    owner = FileQueue(tmp_path / "q", lease_ttl=0.3)
+    owner.claim("w1", limit=1)
+    thief = FileQueue(tmp_path / "q", lease_ttl=0.3)
+    deadline = time.monotonic() + 0.7
+    while time.monotonic() < deadline:
+        owner.heartbeat("w1", force=True)
+        assert thief.steal("w2", limit=1) == []
+        time.sleep(0.05)
+
+
+def test_staleness_ignores_clocks_and_mtimes_entirely(queue, tmp_path):
+    """Skew immunity: lying mtimes and absurd counter values change nothing.
+
+    The thief only watches *whether the owner's beat payload changes*
+    against its own monotonic clock — a lease file dated 1970, a
+    heartbeat dated 2099, or a beats counter running backwards must
+    neither trigger a premature steal nor prevent a legitimate one.
+    """
+    queue.submit(_jobs(1))
+    owner = FileQueue(tmp_path / "q", lease_ttl=0.3)
+    lease = owner.claim("w1", limit=1)[0]
+    # lease "written" decades ago, heartbeat file "from the future"
+    os.utime(lease.path, (0, 0))
+    thief = FileQueue(tmp_path / "q", lease_ttl=0.3)
+    for beats in (10**12, 5, 3):  # counter jumps backwards: still "alive"
+        (owner.hb_dir / "w1.json").write_text(json.dumps({"worker": "w1", "beats": beats}))
+        os.utime(owner.hb_dir / "w1.json", (4102444800, 4102444800))
+        assert thief.steal("w2", limit=1) == []
+        time.sleep(0.12)
+    # now the counter freezes: one TTL of *thief-local* time later, steal
+    time.sleep(0.35)
+    assert len(thief.steal("w2", limit=1)) == 1
+
+
+def test_own_leases_are_never_stolen(queue):
+    queue.submit(_jobs(1))
+    queue.claim("w1", limit=1)
+    time.sleep(0.35)
+    assert queue.steal("w1", limit=1) == []
+
+
+def test_second_generation_steal_bumps_generation(queue, tmp_path):
+    queue.submit(_jobs(1))
+    FileQueue(tmp_path / "q", lease_ttl=0.2).claim("w1", limit=1)
+    thief1 = FileQueue(tmp_path / "q", lease_ttl=0.2)
+    thief1.steal("w2", limit=1)
+    time.sleep(0.25)
+    first = thief1.steal("w2", limit=1)
+    assert first and first[0].generation == 1
+    thief2 = FileQueue(tmp_path / "q", lease_ttl=0.2)
+    thief2.steal("w3", limit=1)
+    time.sleep(0.25)
+    second = thief2.steal("w3", limit=1)
+    assert second and second[0].generation == 2
+    assert second[0].path.name.endswith(".g2.w3.json")
+
+
+def test_stale_lease_fault_suppresses_heartbeat_writes(queue):
+    """``drop@stale-lease`` models heartbeats that never reach the FS."""
+    with inject_faults("drop@stale-lease"):
+        assert not queue.heartbeat("w1", force=True)
+    assert not (queue.hb_dir / "w1.json").exists()
+    assert queue.heartbeat("w1", force=True)  # plan lifted: beats land again
+
+
+# ----------------------------------------------------------------------
+# Completion records
+# ----------------------------------------------------------------------
+def test_complete_publishes_sealed_record_and_retires_lease(queue):
+    queue.submit(_jobs(1))
+    claim = queue.claim("w1", limit=1)[0]
+    queue.complete(claim, {"ok": True, "result": {"cycles": 1}, "attempts": []})
+    assert queue.outstanding() == (0, 0)
+    record = queue.done_record(claim.key)
+    assert record["ok"] and record["generation"] == 0
+    assert record["sha256"]
+
+
+def test_corrupt_done_record_is_quarantined_on_read(queue):
+    queue.submit(_jobs(1))
+    claim = queue.claim("w1", limit=1)[0]
+    queue.complete(claim, {"ok": True, "result": {"cycles": 1}, "attempts": []})
+    path = queue.done_dir / f"{claim.key}.json"
+    record = json.loads(path.read_text())
+    record["result"]["cycles"] = 2  # tampered outcome
+    path.write_text(json.dumps(record))
+    assert queue.done_record(claim.key) is None
+    assert queue.quarantined == 1
+    assert not path.exists()  # removed, so the key is honestly not-done
+
+
+def test_collect_new_yields_each_record_once(queue):
+    queue.submit(_jobs(3))
+    for claim in queue.claim("w1", limit=3):
+        queue.complete(claim, {"ok": True, "result": {}, "attempts": []})
+    seen = set()
+    assert len(list(queue.collect_new(seen))) == 3
+    assert list(queue.collect_new(seen)) == []
+
+
+def test_counts_snapshot(queue):
+    queue.submit(_jobs(4))
+    queue.claim("w1", limit=1)
+    done = queue.claim("w1", limit=1)
+    queue.complete(done[0], {"ok": True, "result": {}, "attempts": []})
+    assert queue.counts() == {"jobs": 2, "leases": 1, "done": 1, "quarantined": 0}
+
+
+def test_worker_stats_roundtrip(queue):
+    queue.write_stats("w1", {"worker": "w1", "executed": 3})
+    queue.write_stats("w2", {"worker": "w2", "executed": 5})
+    stats = queue.read_stats()
+    assert [s["worker"] for s in stats] == ["w1", "w2"]
+
+
+def test_new_worker_ids_are_unique_and_filename_safe():
+    ids = {new_worker_id() for _ in range(32)}
+    assert len(ids) == 32
+    assert all(i.isalnum() for i in ids)
+
+
+def test_lease_ttl_must_be_positive(tmp_path):
+    with pytest.raises(ValueError):
+        FileQueue(tmp_path / "q", lease_ttl=0.0)
+
+
+def test_claim_dataclass_is_frozen(queue):
+    queue.submit(_jobs(1))
+    claim = queue.claim("w1", limit=1)[0]
+    assert isinstance(claim, Claim)
+    with pytest.raises(AttributeError):
+        claim.key = "other"
