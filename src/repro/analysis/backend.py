@@ -37,8 +37,8 @@ from __future__ import annotations
 import os
 import shutil
 import subprocess
-import sys
 import tempfile
+import time
 import uuid
 from abc import ABC, abstractmethod
 from pathlib import Path
@@ -112,10 +112,27 @@ class SharedFSBackend(ExecutionBackend):
         Jobs claimed per worker per round — the amortization knob:
         larger batches give each worker more group-mates sharing a
         trace acquisition (see :mod:`repro.analysis.worker`).
+    poison_threshold:
+        Maximum lease generation allowed to execute before a job is
+        quarantined as poison (default: the queue's own default; see
+        :mod:`repro.analysis.workqueue`).
+    deadline:
+        Global wall-clock budget in seconds for the drain.  Workers
+        stop *claiming* at the deadline (in-flight jobs finish or time
+        out); jobs never claimed come back as honest ``unclaimed``
+        partial-results outcomes that a later ``--resume`` completes.
+        A deadline already set on the batch (``sweep --deadline``)
+        takes precedence.
+    supervise:
+        Run the drain under a :class:`~repro.analysis.supervisor.FleetSupervisor`
+        instead of the parent participating: the parent only monitors,
+        restarts crashed/pressure-exited workers with backoff, and
+        quarantines poison jobs it observes from outside.  Requires at
+        least one spawned worker (forced up to 1 if needed).
 
     After ``execute`` returns, ``last_counts`` / ``last_worker_stats``
-    / ``last_parent_stats`` hold the drain's telemetry for
-    ``repro-sim bench --sweep``.
+    / ``last_parent_stats`` / ``last_supervisor`` hold the drain's
+    telemetry for ``repro-sim bench --sweep``.
     """
 
     name = "shared-fs"
@@ -127,49 +144,57 @@ class SharedFSBackend(ExecutionBackend):
         lease_ttl: float = 30.0,
         batch: int = 8,
         poll: float = 0.1,
+        poison_threshold: Optional[int] = None,
+        deadline: Optional[float] = None,
+        supervise: bool = False,
+        max_restarts: int = 10,
     ) -> None:
         if spawn is not None and spawn < 0:
             raise ValueError(f"spawn must be >= 0 (got {spawn})")
         if batch < 1:
             raise ValueError(f"batch must be >= 1 (got {batch})")
+        if deadline is not None and deadline < 0:
+            raise ValueError(f"deadline must be >= 0 seconds (got {deadline})")
         self.queue_dir = Path(queue_dir) if queue_dir is not None else None
         self.spawn = spawn
         self.lease_ttl = lease_ttl
         self.batch = batch
         self.poll = poll
+        self.poison_threshold = poison_threshold
+        self.deadline = deadline
+        self.supervise = supervise
+        self.max_restarts = max_restarts
         self.last_counts: Dict = {}
         self.last_worker_stats: List[Dict] = []
         self.last_parent_stats: Dict = {}
+        self.last_supervisor: Dict = {}
 
     # ------------------------------------------------------------------
-    def _spawn_worker(self, queue: FileQueue, index: int):
+    def _spawn_worker(self, queue: FileQueue, index: int, batch,
+                      deadline_at: Optional[float] = None):
         """Launch one ``repro-sim worker`` subprocess against the queue.
 
         Best-effort by design: a host that cannot spawn (sandbox, fork
         limits) degrades to the parent draining alone.  Workers log to
         the queue's ``logs/`` directory and exit when the queue drains.
         """
-        name = f"spawn{index}-{uuid.uuid4().hex[:6]}"
-        cmd = [
-            sys.executable, "-m", "repro.cli", "worker",
-            "--queue-dir", str(queue.root),
-            "--name", name,
-            "--lease-ttl", str(queue.lease_ttl),
-            "--batch", str(self.batch),
-        ]
-        env = dict(os.environ)
-        import repro
+        from repro.analysis.supervisor import spawn_worker
 
-        src_root = str(Path(repro.__file__).resolve().parent.parent)
-        existing = env.get("PYTHONPATH")
-        env["PYTHONPATH"] = src_root + (os.pathsep + existing if existing else "")
-        log = open(queue.logs_dir / f"{name}.log", "w")
-        try:
-            proc = subprocess.Popen(cmd, stdout=log, stderr=subprocess.STDOUT, env=env)
-        except OSError:
-            log.close()
-            raise
-        return proc, log
+        name = f"spawn{index}-{uuid.uuid4().hex[:6]}"
+        deadline_s = None
+        if deadline_at is not None:
+            deadline_s = max(0.0, deadline_at - time.monotonic())
+        store = getattr(batch, "trace_store", None)
+        return spawn_worker(
+            queue,
+            name,
+            batch=self.batch,
+            poll=self.poll,
+            retries=max(0, batch.policy.max_attempts - 1),
+            timeout=batch.policy.timeout,
+            deadline_s=deadline_s,
+            trace_store_dir=store.directory if store is not None else None,
+        )
 
     @staticmethod
     def _reap(procs) -> None:
@@ -238,18 +263,95 @@ class SharedFSBackend(ExecutionBackend):
 
         owns_dir = self.queue_dir is None
         root = self.queue_dir or Path(tempfile.mkdtemp(prefix="repro-queue-"))
-        queue = FileQueue(root, lease_ttl=self.lease_ttl)
+        queue = FileQueue(root, lease_ttl=self.lease_ttl, poison_threshold=self.poison_threshold)
         key_to_indices: Dict[str, List[int]] = {}
         for index in pending:
             key_to_indices.setdefault(batch.outcome(index).key, []).append(index)
         # One queue job per distinct key; duplicates fan back out on apply.
         queue.submit([batch.jobs[indices[0]] for indices in key_to_indices.values()])
 
+        # A deadline set on the batch (sweep --deadline) wins; otherwise
+        # the backend's own budget starts ticking now.
+        deadline_at = getattr(batch, "deadline_at", None)
+        if deadline_at is None and self.deadline is not None:
+            deadline_at = time.monotonic() + self.deadline
+
+        if self.supervise:
+            self._drain_supervised(batch, queue, workers, deadline_at)
+        else:
+            self._drain_participating(batch, queue, workers, deadline_at, drain_queue)
+
+        deadline_hit = bool(
+            getattr(batch.report, "deadline_hit", False)
+            or (deadline_at is not None and time.monotonic() >= deadline_at)
+        )
+        if deadline_hit:
+            batch.report.deadline_hit = True
+
+        quarantined_records = queue.collect_quarantined()
+        applied = set()
+        for key, record in queue.collect_new(set()):
+            indices = key_to_indices.get(key)
+            if indices is None:
+                continue  # a previous sweep's job sharing this queue dir
+            applied.add(key)
+            self._apply(batch, indices, record)
+        poisoned_jobs = 0
+        unclaimed_jobs = 0
+        for key, indices in key_to_indices.items():
+            if key in applied:
+                continue
+            record = quarantined_records.get(key)
+            if record is not None:
+                # Poison job: every execution killed its worker.  The
+                # sealed quarantine record is the outcome — a permanent,
+                # journaled failure carrying the forensics.
+                reason = str(record.get("reason", "quarantined as a poison job"))
+                for index in indices:
+                    batch.record_failure(index, "poisoned", reason, 0.0)
+                    batch.outcome(index).quarantined = True
+                    batch.give_up(index)
+                poisoned_jobs += len(indices)
+                continue
+            if deadline_hit:
+                # Never claimed before the deadline: not a failure, just
+                # not attempted.  Left out of the journal so --resume
+                # runs it.
+                for index in indices:
+                    batch.mark_unclaimed(index)
+                unclaimed_jobs += len(indices)
+                continue
+            # Drained queue but no intact done record (quarantined on
+            # read, or lost to the filesystem): an honest failure beats
+            # a silent hang.
+            for index in indices:
+                batch.record_failure(index, "exception", "queue drained with no done record", 0.0)
+                batch.give_up(index)
+        if poisoned_jobs:
+            batch.degrade(
+                f"shared-fs: {poisoned_jobs} job(s) quarantined as poison "
+                f"(forensics under {queue.quarantine_dir})"
+            )
+        if unclaimed_jobs:
+            batch.degrade(
+                f"shared-fs: deadline left {unclaimed_jobs} job(s) unclaimed; "
+                "re-run with --resume to complete them"
+            )
+        if queue.quarantined:
+            batch.degrade(f"shared-fs: {queue.quarantined} corrupt queue record(s) quarantined")
+        if owns_dir:
+            shutil.rmtree(root, ignore_errors=True)
+
+    def _drain_participating(self, batch, queue: FileQueue, workers: int,
+                             deadline_at, drain_queue) -> None:
+        """Default drain: spawn helpers, then the parent drains too."""
+        from repro.common.diskio import PressureGuard
+
         spawn = self.spawn if self.spawn is not None else max(0, workers - 1)
         procs = []
         for i in range(spawn):
             try:
-                procs.append(self._spawn_worker(queue, i))
+                procs.append(self._spawn_worker(queue, i, batch, deadline_at))
             except OSError as exc:
                 batch.degrade(f"shared-fs: could not spawn worker {i} ({exc!r})")
                 break
@@ -263,33 +365,57 @@ class SharedFSBackend(ExecutionBackend):
                 policy=batch.policy,
                 trace_store=batch.trace_store,
                 poll=self.poll,
+                guard=PressureGuard(queue.root, key=f"{queue.root}|parent"),
+                deadline=deadline_at,
             )
             self.last_parent_stats = stats.to_dict()
+            for event in stats.degradations:
+                batch.degrade(f"shared-fs: parent: {event}")
         finally:
             self._reap(procs)
             self.last_counts = queue.counts()
             self.last_worker_stats = queue.read_stats()
 
-        applied = set()
-        for key, record in queue.collect_new(set()):
-            indices = key_to_indices.get(key)
-            if indices is None:
-                continue  # a previous sweep's job sharing this queue dir
-            applied.add(key)
-            self._apply(batch, indices, record)
-        for key, indices in key_to_indices.items():
-            if key in applied:
-                continue
-            # Drained queue but no intact done record (quarantined on
-            # read, or lost to the filesystem): an honest failure beats
-            # a silent hang.
-            for index in indices:
-                batch.record_failure(index, "exception", "queue drained with no done record", 0.0)
-                batch.give_up(index)
-        if queue.quarantined:
-            batch.degrade(f"shared-fs: {queue.quarantined} corrupt queue record(s) quarantined")
-        if owns_dir:
-            shutil.rmtree(root, ignore_errors=True)
+    def _drain_supervised(self, batch, queue: FileQueue, workers: int,
+                          deadline_at) -> None:
+        """Supervised drain: the parent only monitors (see the supervisor
+        module).  Crucially it claims nothing, so poison jobs cannot kill
+        it — the opposite trade-off from the participating drain."""
+        from repro.analysis.supervisor import FleetSupervisor
+
+        fleet = self.spawn if self.spawn is not None else max(1, workers - 1)
+        fleet = max(1, fleet)  # a supervisor with no workers drains nothing
+        store = getattr(batch, "trace_store", None)
+        supervisor = FleetSupervisor(
+            queue,
+            workers=fleet,
+            batch=self.batch,
+            poll=self.poll,
+            worker_poll=self.poll,
+            retries=max(0, batch.policy.max_attempts - 1),
+            timeout=batch.policy.timeout,
+            deadline=(max(0.0, deadline_at - time.monotonic())
+                      if deadline_at is not None else None),
+            max_restarts=self.max_restarts,
+            trace_store_dir=store.directory if store is not None else None,
+        )
+        report = supervisor.run()
+        self.last_supervisor = report.to_dict()
+        self.last_counts = queue.counts()
+        self.last_worker_stats = queue.read_stats()
+        self.last_parent_stats = {}
+        if report.deadline_hit:
+            batch.report.deadline_hit = True
+        if report.restarts:
+            batch.degrade(
+                f"shared-fs: supervisor restarted workers {report.restarts} time(s) "
+                f"({report.crash_restarts} crash, {report.pressure_restarts} pressure)"
+            )
+        if report.stopped == "fleet-exhausted":
+            batch.degrade(
+                "shared-fs: supervisor fleet exhausted its restart budget "
+                "before the queue drained"
+            )
 
 
 # ----------------------------------------------------------------------

@@ -193,6 +193,23 @@ class RunJournal:
         """Key -> raw record for every key whose *latest* record is a failure."""
         return {k: r for k, r in self.load().items() if not r.get("ok")}
 
+    def domains(self) -> Dict[str, int]:
+        """Failure-domain histogram over the journal's *latest* records.
+
+        Counts the kind of each failed record's last attempt (falling
+        back to ``"exception"``), so a resume banner can say *what* is
+        failing — ``{"timeout": 3, "poisoned": 1}`` reads very
+        differently from ``{"worker-death": 4}``.  Successes are
+        excluded; an empty dict means nothing is currently failing.
+        """
+        histogram: Dict[str, int] = {}
+        for record in self.failed().values():
+            attempts = record.get("attempts") or []
+            last = attempts[-1] if attempts else {}
+            kind = str(last.get("kind", "exception")) if isinstance(last, dict) else "exception"
+            histogram[kind] = histogram.get(kind, 0) + 1
+        return histogram
+
     def __len__(self) -> int:
         return len(self.load())
 

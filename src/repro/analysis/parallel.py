@@ -253,6 +253,7 @@ def run_jobs(
     journal: Optional[RunJournal] = None,
     return_report: bool = False,
     backend=None,
+    deadline: Optional[float] = None,
 ) -> List[SimulationResult] | BatchReport:
     """Execute ``jobs``; returns results aligned with the input order.
 
@@ -286,6 +287,12 @@ def run_jobs(
     as-is.  Every backend honours the same cache/journal/policy
     semantics — swapping backends never changes results, only where the
     simulations physically run.
+
+    ``deadline`` (seconds) bounds the whole batch: once it expires no
+    new job starts; in-flight jobs finish (or hit their own timeout)
+    and jobs never started come back as honest ``unclaimed`` outcomes
+    that a journaled re-run completes (graceful degradation, not an
+    abort).
     """
     if backend is not None or os.environ.get("REPRO_BACKEND"):
         from repro.analysis.backend import resolve_backend
@@ -300,6 +307,7 @@ def run_jobs(
         policy=policy,
         journal=journal,
         backend=backend,
+        deadline=deadline,
     )
     if return_report:
         return report

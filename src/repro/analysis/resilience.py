@@ -152,6 +152,13 @@ class JobOutcome:
     attempts: List[JobAttempt] = field(default_factory=list)
     from_cache: bool = False
     from_journal: bool = False
+    #: The job was declared poison and moved into queue quarantine — it
+    #: kept killing its executors, so nothing will run it again until
+    #: it is resubmitted (a resume after the underlying fault is fixed).
+    quarantined: bool = False
+    #: The job was never claimed before a sweep deadline expired: no
+    #: attempts, nothing journaled, so a resume runs it from scratch.
+    unclaimed: bool = False
 
     @property
     def error(self) -> Optional[str]:
@@ -169,6 +176,8 @@ class BatchReport:
 
     outcomes: List[JobOutcome]
     degradations: List[str] = field(default_factory=list)
+    #: Whether a sweep deadline expired before the batch finished.
+    deadline_hit: bool = False
 
     @property
     def failures(self) -> List[JobOutcome]:
@@ -178,6 +187,42 @@ class BatchReport:
     def results(self) -> List[Optional[SimulationResult]]:
         """Results aligned with the input jobs; ``None`` where a job failed."""
         return [o.result for o in self.outcomes]
+
+    def partial_results(self) -> Dict[str, Any]:
+        """An honest accounting of where every job ended up.
+
+        ``completed``/``failed``/``quarantined``/``unclaimed`` partition
+        the batch; ``by_domain`` attributes each non-completed job to
+        its failure domain (the kind of its final attempt — ``timeout``,
+        ``exception``, ``pool-broken`` — or the synthetic domains
+        ``poisoned``/``unclaimed``).  This is what ``sweep --deadline``
+        prints instead of pretending a cut-short sweep finished.
+        """
+        completed = failed = quarantined = unclaimed = 0
+        by_domain: Dict[str, int] = {}
+        for o in self.outcomes:
+            if o.ok:
+                completed += 1
+                continue
+            if o.quarantined:
+                quarantined += 1
+                domain = "poisoned"
+            elif o.unclaimed:
+                unclaimed += 1
+                domain = "unclaimed"
+            else:
+                failed += 1
+                domain = o.attempts[-1].kind if o.attempts else "exception"
+            by_domain[domain] = by_domain.get(domain, 0) + 1
+        return {
+            "total": len(self.outcomes),
+            "completed": completed,
+            "failed": failed,
+            "quarantined": quarantined,
+            "unclaimed": unclaimed,
+            "by_domain": by_domain,
+            "deadline_hit": self.deadline_hit,
+        }
 
 
 class JobsFailedError(RuntimeError):
@@ -189,13 +234,24 @@ class JobsFailedError(RuntimeError):
 
     def __init__(self, report: BatchReport) -> None:
         failures = report.failures
-        preview = "; ".join(
-            f"job[{o.index}] after {len(o.attempts)} attempt(s): {o.error}" for o in failures[:3]
-        )
+
+        def _describe(o: JobOutcome) -> str:
+            if o.quarantined:
+                return f"job[{o.index}] quarantined as a poison job"
+            if o.unclaimed:
+                return f"job[{o.index}] left unclaimed at the deadline"
+            return f"job[{o.index}] after {len(o.attempts)} attempt(s): {o.error}"
+
+        preview = "; ".join(_describe(o) for o in failures[:3])
         if len(failures) > 3:
             preview += f"; ... and {len(failures) - 3} more"
+        partial = report.partial_results()
+        extras = "".join(
+            f", {partial[k]} {k}" for k in ("quarantined", "unclaimed") if partial[k]
+        )
         super().__init__(
-            f"{len(failures)} of {len(report.outcomes)} jobs failed permanently ({preview})"
+            f"{len(failures)} of {len(report.outcomes)} jobs failed permanently"
+            f"{extras} ({preview})"
         )
         self.report = report
 
@@ -259,16 +315,38 @@ def _serial_deadline(seconds: Optional[float]) -> Iterator[bool]:
 class _Batch:
     """Mutable state of one execute_batch call (shared by both phases)."""
 
-    def __init__(self, jobs, policy, cache, trace_store, journal, report):
+    def __init__(self, jobs, policy, cache, trace_store, journal, report,
+                 deadline_at: Optional[float] = None):
         self.jobs = jobs
         self.policy = policy
         self.cache = cache
         self.trace_store = trace_store
         self.journal = journal
         self.report = report
+        #: Absolute ``time.monotonic()`` sweep deadline, or ``None``.
+        self.deadline_at = deadline_at
 
     def outcome(self, index: int) -> JobOutcome:
         return self.report.outcomes[index]
+
+    def past_deadline(self) -> bool:
+        if self.deadline_at is None:
+            return False
+        if time.monotonic() < self.deadline_at:
+            return False
+        self.report.deadline_hit = True
+        return True
+
+    def mark_unclaimed(self, index: int) -> None:
+        """A job the deadline cut off before it was ever claimed.
+
+        Deliberately *not* journaled: with no attempts there is nothing
+        to record, and an absent journal entry is exactly what makes a
+        later ``--resume`` run the job from scratch.
+        """
+        o = self.outcome(index)
+        o.ok = False
+        o.unclaimed = True
 
     def complete(self, index: int, result: SimulationResult) -> None:
         o = self.outcome(index)
@@ -344,8 +422,15 @@ def _run_one_serial(batch: _Batch, index: int) -> None:
 
 
 def _serial_phase(batch: _Batch, pending: Sequence[int]) -> None:
+    cut_off = 0
     for index in pending:
+        if batch.past_deadline():
+            batch.mark_unclaimed(index)
+            cut_off += 1
+            continue
         _run_one_serial(batch, index)
+    if cut_off:
+        batch.degrade(f"deadline: {cut_off} job(s) left unclaimed (serial)")
 
 
 def _kill_pool(pool) -> None:
@@ -419,7 +504,9 @@ def _pool_phase(batch: _Batch, pending: List[int], workers: int, share_traces: b
         return sorted(set(out) | {i for i, _ in inflight.values()})
 
     def requeue_or_fail(index: int) -> None:
-        if batch.attempts_left(index):
+        # Past the sweep deadline, an in-flight job gets to *finish or
+        # time out* — it does not get fresh attempts.
+        if batch.attempts_left(index) and not batch.past_deadline():
             attempt = len(batch.outcome(index).attempts)
             waiting.append(
                 (time.monotonic() + policy.delay(attempt, job_token(batch.jobs[index])), index)
@@ -472,6 +559,23 @@ def _pool_phase(batch: _Batch, pending: List[int], workers: int, share_traces: b
 
         while ready or waiting or inflight:
             now = time.monotonic()
+
+            # Sweep deadline: stop launching work.  Whatever is in
+            # flight finishes (or hits the per-job timeout sweep below);
+            # everything still queued is marked unclaimed — except jobs
+            # that already burned attempts, which are failed honestly.
+            if (ready or waiting) and batch.past_deadline():
+                cut_off = 0
+                for index in [i for _, i in waiting] + list(ready):
+                    if batch.outcome(index).attempts:
+                        batch.give_up(index)
+                    else:
+                        batch.mark_unclaimed(index)
+                        cut_off += 1
+                waiting.clear()
+                ready.clear()
+                batch.degrade(f"deadline: {cut_off} job(s) left unclaimed (pool)")
+                continue
 
             # Backoff expiry: move eligible jobs back onto the ready queue.
             if waiting:
@@ -599,6 +703,7 @@ def execute_batch(
     policy: Optional[RetryPolicy] = None,
     journal: Optional[RunJournal] = None,
     backend=None,
+    deadline: Optional[float] = None,
 ) -> BatchReport:
     """Run a batch under a retry policy; never raises for job failures.
 
@@ -611,11 +716,20 @@ def execute_batch(
     instance, or ``None`` for the built-in pool/serial ladder) owns the
     execution phase only: the journal/cache prefilter, outcome records,
     and failure semantics above are identical for every backend.
+
+    ``deadline`` (seconds from now) bounds the whole batch: once it
+    expires no new job is started — in-flight work finishes or times
+    out, everything never claimed is marked ``unclaimed`` (not
+    journaled, so a resume completes it), and
+    ``BatchReport.partial_results()`` accounts for every job honestly.
     """
     from repro.analysis import parallel as _parallel
 
     if policy is None:
         policy = DEFAULT_POLICY
+    if deadline is not None and deadline < 0:
+        raise ValueError(f"deadline must be >= 0 seconds (got {deadline})")
+    deadline_at = time.monotonic() + deadline if deadline is not None else None
     if workers is None:
         workers = _parallel.default_workers()
     else:
@@ -625,7 +739,8 @@ def execute_batch(
 
     outcomes = [JobOutcome(index=i, key=job.key()) for i, job in enumerate(jobs)]
     report = BatchReport(outcomes=outcomes)
-    batch = _Batch(jobs, policy, cache, trace_store, journal, report)
+    batch = _Batch(jobs, policy, cache, trace_store, journal, report,
+                   deadline_at=deadline_at)
 
     journaled = journal.completed() if journal is not None else {}
     pending: List[int] = []

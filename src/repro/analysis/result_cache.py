@@ -29,7 +29,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional
 
 from repro.common.config import SimulationConfig
-from repro.common.diskio import sweep_stale_tmp, tmp_path_for
+from repro.common.diskio import PressureGuard, sweep_stale_tmp, tmp_path_for
 from repro.common.faults import fault_point
 from repro.common.stats import Stats
 from repro.core.classifier import PrefetchTally
@@ -248,6 +248,10 @@ class ResultCache:
         self.misses = 0
         self.quarantined = 0
         self.evicted = 0
+        self.pressure_skipped = 0
+        # Disk-only guard: a ballooning RSS is the *runner's* problem
+        # (workers drain and exit); persisting finished results is not.
+        self._pressure = PressureGuard(self.directory, max_rss_bytes=None)
         self.stale_tmp_removed = sweep_stale_tmp(self.directory)
 
     @property
@@ -258,6 +262,7 @@ class ResultCache:
             "misses": self.misses,
             "quarantined": self.quarantined,
             "evicted": self.evicted,
+            "pressure_skipped": self.pressure_skipped,
             "budget_bytes": self.budget_bytes or 0,
             "stale_tmp_removed": self.stale_tmp_removed,
         }
@@ -295,6 +300,12 @@ class ResultCache:
         return result
 
     def put(self, key: str, result: SimulationResult) -> None:
+        if self._pressure.check() is not None:
+            # A nearly-full disk turns every write into a potential torn
+            # entry; skipping is safe (the cache is a pure memo) and the
+            # counter keeps the skip honest.
+            self.pressure_skipped += 1
+            return
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self._path(key)
         tmp = tmp_path_for(path)
@@ -360,8 +371,15 @@ class ResultCache:
                     break
                 try:
                     path.unlink()
+                except FileNotFoundError:
+                    # A concurrent reader/evictor already freed it: the
+                    # bytes are gone (count toward the budget math) but
+                    # the eviction is *theirs* (don't count it here —
+                    # two evictors must never double-count one file).
+                    total -= size
+                    continue
                 except OSError:
-                    continue  # a concurrent reader/evictor got there first
+                    continue
                 total -= size
                 removed += 1
             self.evicted += removed

@@ -1,0 +1,377 @@
+"""Fleet supervision for shared-filesystem queue workers.
+
+PR 7's ``repro-sim worker`` processes are deliberately disposable: the
+queue's steal path guarantees *correctness* when one dies, but nothing
+guarantees *throughput* — a fleet of fire-and-forget workers decays
+monotonically, and an unattended overnight sweep can end with one
+survivor grinding through a million-point grid alone.  The
+:class:`FleetSupervisor` is the missing process: it spawns ``N``
+workers over an existing :class:`~repro.analysis.workqueue.FileQueue`,
+watches their exit codes, and keeps the fleet at strength.
+
+What the supervisor does with each exit code:
+
+* **0 with work remaining** — the worker saw a momentarily-empty queue
+  (every job leased elsewhere) or hit its own deadline; respawn after
+  the base backoff.
+* **75** (:data:`WORKER_EXIT_PRESSURE`) — the worker drained-and-exited
+  cleanly under disk/memory pressure.  Respawn after the base backoff
+  without escalating: pressure is about the host, not the worker, and
+  the next incarnation's guard re-checks it.
+* **anything else** — a crash (the ``worker-death`` chaos exit uses
+  70).  Respawn with *capped exponential backoff* on consecutive
+  crashes, so a hard-failing host is retried politely instead of
+  fork-bombed.
+
+Each slot has a restart budget (``max_restarts``); a slot that spends
+it is retired with a report entry, and a fleet whose every slot is
+retired stops the supervisor (``stopped = "fleet-exhausted"``) rather
+than spinning forever.
+
+**Poison jobs** are the supervisor's second job.  A job that kills
+every executor climbs the lease-generation ladder (see the workqueue
+module docstring); worker-side stealing already quarantines such
+leases, but workers that keep dying may never live long enough to
+observe staleness.  The supervisor is long-lived by construction, so
+every monitor tick runs :meth:`FileQueue.poison_sweep`, which
+quarantines any stale lease whose next generation would exceed the
+threshold — without ever executing the job itself (the supervisor
+claims nothing, which is what makes it immune).
+
+Worker incarnations are named ``s<slot>r<respawn>-<hex>`` — unique per
+incarnation (heartbeat counters must never be reused across a death)
+and greppable by chaos plans: ``match=s1r0`` targets slot 1's first
+incarnation exactly.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Dict, List, Optional, Tuple
+
+from repro.analysis.workqueue import FileQueue
+
+#: ``repro-sim worker`` exit code for a clean drain-and-exit under
+#: resource pressure (mirrors BSD's ``EX_TEMPFAIL``: try again later).
+WORKER_EXIT_PRESSURE = 75
+
+#: Respawns allowed per slot before it is retired.
+DEFAULT_MAX_RESTARTS = 10
+
+
+def spawn_worker(
+    queue: FileQueue,
+    name: str,
+    batch: int = 8,
+    poll: float = 0.1,
+    retries: Optional[int] = None,
+    timeout: Optional[float] = None,
+    deadline_s: Optional[float] = None,
+    trace_store_dir: Optional[os.PathLike | str] = None,
+    extra_env: Optional[Dict[str, str]] = None,
+) -> Tuple[subprocess.Popen, IO]:
+    """Launch one ``repro-sim worker`` subprocess against ``queue``.
+
+    Shared by the supervisor and :class:`SharedFSBackend` so every
+    spawned worker gets the same environment (PYTHONPATH threading,
+    log file under the queue's ``logs/``, queue-derived lease TTL and
+    poison threshold).  Raises ``OSError`` when the host cannot spawn.
+    """
+    cmd = [
+        sys.executable, "-m", "repro.cli", "worker",
+        "--queue-dir", str(queue.root),
+        "--name", name,
+        "--lease-ttl", str(queue.lease_ttl),
+        "--batch", str(batch),
+        "--poll", str(poll),
+        "--poison-threshold", str(queue.poison_threshold),
+    ]
+    if retries is not None:
+        cmd += ["--retries", str(retries)]
+    if timeout is not None:
+        cmd += ["--timeout", str(timeout)]
+    if deadline_s is not None:
+        cmd += ["--deadline", str(max(0.0, deadline_s))]
+    if trace_store_dir is not None:
+        cmd += ["--trace-store", str(trace_store_dir)]
+    env = dict(os.environ)
+    import repro
+
+    src_root = str(Path(repro.__file__).resolve().parent.parent)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src_root + (os.pathsep + existing if existing else "")
+    if extra_env:
+        env.update(extra_env)
+    log = open(queue.logs_dir / f"{name}.log", "w")
+    try:
+        proc = subprocess.Popen(cmd, stdout=log, stderr=subprocess.STDOUT, env=env)
+    except OSError:
+        log.close()
+        raise
+    return proc, log
+
+
+@dataclass
+class _Slot:
+    """One position in the fleet and the incarnation currently filling it."""
+
+    index: int
+    name: str = ""
+    proc: Optional[subprocess.Popen] = None
+    log: Optional[IO] = None
+    spawns: int = 0
+    crash_restarts: int = 0
+    pressure_restarts: int = 0
+    consecutive_crashes: int = 0
+    retired: bool = False
+    next_spawn_at: Optional[float] = None
+    exit_codes: List[int] = field(default_factory=list)
+
+    @property
+    def restarts(self) -> int:
+        return max(0, self.spawns - 1)
+
+
+@dataclass
+class SupervisorReport:
+    """What one supervised drain did: fleet telemetry plus the verdict."""
+
+    workers: int
+    stopped: str = ""  # "drained" | "deadline" | "fleet-exhausted"
+    drained: bool = False
+    deadline_hit: bool = False
+    restarts: int = 0
+    crash_restarts: int = 0
+    pressure_restarts: int = 0
+    retired_slots: int = 0
+    poisoned: int = 0
+    counts: Dict[str, int] = field(default_factory=dict)
+    slot_exit_codes: List[List[int]] = field(default_factory=list)
+    events: List[str] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    def to_dict(self) -> Dict:
+        from dataclasses import asdict
+
+        return asdict(self)
+
+
+class FleetSupervisor:
+    """Spawn, monitor, and restart a fleet of queue workers.
+
+    The supervisor never claims or executes jobs — it watches
+    subprocesses and the queue's directories, which is exactly what
+    keeps it alive through poison jobs and lets its staleness
+    observations mature (see the module docstring).  ``run()`` blocks
+    until the queue drains, the ``deadline`` (seconds) expires, or
+    every slot has spent its restart budget.
+    """
+
+    def __init__(
+        self,
+        queue: FileQueue,
+        workers: int = 2,
+        batch: int = 8,
+        poll: float = 0.1,
+        worker_poll: float = 0.1,
+        retries: Optional[int] = None,
+        timeout: Optional[float] = None,
+        deadline: Optional[float] = None,
+        max_restarts: int = DEFAULT_MAX_RESTARTS,
+        backoff_base: float = 0.25,
+        backoff_factor: float = 2.0,
+        backoff_max: float = 10.0,
+        shutdown_grace: float = 30.0,
+        trace_store_dir: Optional[os.PathLike | str] = None,
+        extra_env: Optional[Dict[str, str]] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"a fleet needs at least one worker (got {workers})")
+        if max_restarts < 0:
+            raise ValueError(f"max_restarts must be >= 0 (got {max_restarts})")
+        if deadline is not None and deadline < 0:
+            raise ValueError(f"deadline must be >= 0 seconds (got {deadline})")
+        self.queue = queue
+        self.workers = workers
+        self.batch = batch
+        self.poll = poll
+        self.worker_poll = worker_poll
+        self.retries = retries
+        self.timeout = timeout
+        self.deadline = deadline
+        self.max_restarts = max_restarts
+        self.backoff_base = backoff_base
+        self.backoff_factor = backoff_factor
+        self.backoff_max = backoff_max
+        self.shutdown_grace = shutdown_grace
+        self.trace_store_dir = trace_store_dir
+        self.extra_env = extra_env
+        #: The live slots while ``run()`` is executing (for tests and
+        #: tooling that needs to reach a worker process mid-drain).
+        self.slots: List[_Slot] = []
+
+    # ------------------------------------------------------------------
+    def _spawn(self, slot: _Slot, report: SupervisorReport,
+               deadline_at: Optional[float]) -> None:
+        slot.name = f"s{slot.index}r{slot.spawns}-{uuid.uuid4().hex[:4]}"
+        deadline_s = None
+        if deadline_at is not None:
+            deadline_s = max(0.0, deadline_at - time.monotonic())
+        try:
+            slot.proc, slot.log = spawn_worker(
+                self.queue,
+                slot.name,
+                batch=self.batch,
+                poll=self.worker_poll,
+                retries=self.retries,
+                timeout=self.timeout,
+                deadline_s=deadline_s,
+                trace_store_dir=self.trace_store_dir,
+                extra_env=self.extra_env,
+            )
+        except OSError as exc:
+            slot.retired = True
+            report.events.append(f"slot {slot.index}: spawn failed ({exc!r}); retired")
+            return
+        slot.spawns += 1
+        slot.next_spawn_at = None
+
+    def _close_log(self, slot: _Slot) -> None:
+        if slot.log is not None:
+            try:
+                slot.log.close()
+            except OSError:
+                pass
+            slot.log = None
+
+    def _on_exit(self, slot: _Slot, code: int, report: SupervisorReport,
+                 now: float, deadline_at: Optional[float]) -> None:
+        """Decide a dead incarnation's slot fate: respawn (when?) or retire."""
+        slot.proc = None
+        self._close_log(slot)
+        slot.exit_codes.append(code)
+        jobs_left, leases_left = self.queue.outstanding()
+        if code == 0 and jobs_left == 0 and leases_left == 0:
+            slot.retired = True  # normal end-of-queue exit
+            return
+        if deadline_at is not None and now >= deadline_at:
+            slot.retired = True  # no point respawning into an expired sweep
+            return
+        if slot.restarts >= self.max_restarts:
+            slot.retired = True
+            report.retired_slots += 1
+            report.events.append(
+                f"slot {slot.index}: restart budget ({self.max_restarts}) spent "
+                f"(exit codes {slot.exit_codes}); retired"
+            )
+            return
+        if code == WORKER_EXIT_PRESSURE:
+            slot.consecutive_crashes = 0
+            report.pressure_restarts += 1
+            backoff = self.backoff_base
+            reason = "pressure exit"
+        elif code == 0:
+            slot.consecutive_crashes = 0
+            backoff = self.backoff_base
+            reason = "clean exit with work remaining"
+        else:
+            slot.consecutive_crashes += 1
+            report.crash_restarts += 1
+            backoff = min(
+                self.backoff_max,
+                self.backoff_base
+                * self.backoff_factor ** (slot.consecutive_crashes - 1),
+            )
+            reason = f"crash (exit {code})"
+        report.restarts += 1
+        slot.next_spawn_at = now + backoff
+        report.events.append(
+            f"slot {slot.index}: {slot.name} {reason}; respawn in {backoff:.2f}s"
+        )
+
+    def _tend(self, report: SupervisorReport, deadline_at: Optional[float]) -> None:
+        now = time.monotonic()
+        for slot in self.slots:
+            if slot.retired:
+                continue
+            if slot.proc is None:
+                if slot.next_spawn_at is not None and now >= slot.next_spawn_at:
+                    self._spawn(slot, report, deadline_at)
+                continue
+            code = slot.proc.poll()
+            if code is not None:
+                self._on_exit(slot, code, report, now, deadline_at)
+
+    def _shutdown(self, report: SupervisorReport) -> None:
+        """Reap every live incarnation: grace period, then escalate."""
+        deadline = time.monotonic() + self.shutdown_grace
+        for slot in self.slots:
+            if slot.proc is None:
+                self._close_log(slot)
+                continue
+            try:
+                slot.proc.wait(timeout=max(0.1, deadline - time.monotonic()))
+            except subprocess.TimeoutExpired:
+                slot.proc.terminate()
+                try:
+                    slot.proc.wait(timeout=5.0)
+                except subprocess.TimeoutExpired:
+                    slot.proc.kill()
+                    slot.proc.wait()
+                report.events.append(f"slot {slot.index}: {slot.name} terminated at shutdown")
+            if slot.proc.returncode is not None:
+                slot.exit_codes.append(slot.proc.returncode)
+            slot.proc = None
+            self._close_log(slot)
+
+    # ------------------------------------------------------------------
+    def run(self) -> SupervisorReport:
+        report = SupervisorReport(workers=self.workers)
+        started = time.monotonic()
+        deadline_at = started + self.deadline if self.deadline is not None else None
+        self.slots = [_Slot(index=i) for i in range(self.workers)]
+        poisoned_seen = self.queue.counts().get("poisoned", 0)
+        try:
+            for slot in self.slots:
+                self._spawn(slot, report, deadline_at)
+            while True:
+                self.queue.poison_sweep()
+                # Attribute every new quarantine record, whether this
+                # sweep produced it or a worker's steal() did.
+                poisoned_now = self.queue.counts().get("poisoned", 0)
+                if poisoned_now > poisoned_seen:
+                    report.events.append(
+                        f"quarantined {poisoned_now - poisoned_seen} poison job(s)"
+                    )
+                    poisoned_seen = poisoned_now
+                jobs_left, leases_left = self.queue.outstanding()
+                if jobs_left == 0 and leases_left == 0:
+                    report.drained = True
+                    report.stopped = "drained"
+                    break
+                if deadline_at is not None and time.monotonic() >= deadline_at:
+                    report.deadline_hit = True
+                    report.stopped = "deadline"
+                    break
+                self._tend(report, deadline_at)
+                if all(slot.retired for slot in self.slots):
+                    report.stopped = "fleet-exhausted"
+                    break
+                time.sleep(self.poll)
+        finally:
+            self._shutdown(report)
+        report.elapsed_s = time.monotonic() - started
+        report.counts = self.queue.counts()
+        report.poisoned = report.counts.get("poisoned", 0)
+        if report.poisoned > poisoned_seen:
+            report.events.append(
+                f"quarantined {report.poisoned - poisoned_seen} poison job(s)"
+            )
+        report.slot_exit_codes = [slot.exit_codes for slot in self.slots]
+        return report

@@ -115,6 +115,7 @@ def sweep_history_sizes(
     policy: Optional[RetryPolicy] = None,
     journal: Optional[RunJournal] = None,
     backend=None,
+    deadline: Optional[float] = None,
 ) -> Dict[int, SimulationResult]:
     """Section 5.3: history-table size sensitivity (PA filter by default)."""
     jobs = [
@@ -122,7 +123,8 @@ def sweep_history_sizes(
         for size in entries
     ]
     results = run_jobs(
-        jobs, workers=workers, cache=cache, policy=policy, journal=journal, backend=backend
+        jobs, workers=workers, cache=cache, policy=policy, journal=journal,
+        backend=backend, deadline=deadline,
     )
     return dict(zip(entries, results))
 
@@ -139,6 +141,7 @@ def sweep_l1_ports(
     policy: Optional[RetryPolicy] = None,
     journal: Optional[RunJournal] = None,
     backend=None,
+    deadline: Optional[float] = None,
 ) -> Dict[int, SimulationResult]:
     """Section 5.4: L1 port-count sensitivity (latency rises with ports)."""
     jobs = [
@@ -146,7 +149,8 @@ def sweep_l1_ports(
         for p in ports
     ]
     results = run_jobs(
-        jobs, workers=workers, cache=cache, policy=policy, journal=journal, backend=backend
+        jobs, workers=workers, cache=cache, policy=policy, journal=journal,
+        backend=backend, deadline=deadline,
     )
     return dict(zip(ports, results))
 

@@ -29,6 +29,17 @@ Fault sites (chaos-tested, registered in :mod:`repro.common.faults`):
   spec silently discards heartbeat writes, so a perfectly healthy
   worker *looks* dead to its peers and its leases get stolen — the
   duplicate execution that follows must converge bit-identically.
+* ``pressure`` lives inside the optional
+  :class:`~repro.common.diskio.PressureGuard` checked at the top of
+  every claim round: ``enospc``/``mem-pressure`` specs make a healthy
+  worker behave as if its disk or memory ran out, which must produce a
+  clean drain-and-exit (``stats.stopped == "pressure"``), never a
+  death mid-write.
+
+The ``worker-death`` site key is the job token *followed by the worker
+name*, so chaos plans can target either axis: ``match=<token>`` kills
+every executor of one job (a poison job), ``match=<worker>`` kills one
+worker incarnation wherever it is in its batch (a mid-lease death).
 
 A background daemon thread heartbeats every quarter lease-TTL so a
 legitimately long job is never mistaken for a dead owner.
@@ -51,6 +62,7 @@ from repro.analysis.resilience import (
 )
 from repro.analysis.result_cache import result_to_dict
 from repro.analysis.workqueue import _BEAT_FRACTION, Claim, FileQueue, new_worker_id
+from repro.common.diskio import PressureGuard
 from repro.common.faults import fault_point
 from repro.trace.store import TraceStore
 
@@ -77,6 +89,15 @@ class WorkerStats:
     rest_jobs: int = 0
     idle_polls: int = 0
     drain_s: float = 0.0
+    #: Why the drain stopped early: ``"pressure"``, ``"deadline"``, or
+    #: ``None`` for a normal empty-queue (or max-jobs) exit.
+    stopped: Optional[str] = None
+    #: Pressure-guard checks performed (0 when no guard was attached).
+    pressure_checks: int = 0
+    #: Corrupt job/done records this worker's queue instance quarantined.
+    queue_quarantined: int = 0
+    #: Poison jobs this worker's queue instance moved into quarantine/.
+    poisoned: int = 0
     degradations: List[str] = field(default_factory=list)
 
     def to_dict(self) -> Dict:
@@ -140,10 +161,22 @@ def _run_claim(
                 if policy.timeout and not armed and not warned:
                     warned = True
                     stats.degradations.append(
-                        f"timeout not enforceable for {claim.token} on this platform"
+                        f"timeout not enforceable for {claim.token} on this platform; "
+                        "falling back to a post-hoc monotonic check between jobs"
                     )
                 fault_point("worker", key=claim.token, attempt=attempt)
                 result = execute_job(claim.job, trace=trace)
+            if (
+                policy.timeout
+                and not armed
+                and time.monotonic() - started > policy.timeout
+            ):
+                # SIGALRM could not interrupt this job (non-main thread
+                # or non-Unix), so the budget is enforced after the
+                # fact: the completed result is discarded and the job
+                # charged a timeout attempt, matching what an armed
+                # deadline would have reported.
+                raise JobTimeout()
         except JobTimeout:
             attempts.append(
                 JobAttempt(
@@ -222,7 +255,8 @@ def _run_claims(
             # Deliberately OUTSIDE the per-job try/except: a worker-death
             # fault must take the whole worker down with the lease still
             # held, so the steal path (not local retry) recovers the job.
-            fault_point("worker-death", key=claim.token, attempt=stats.executed)
+            # Key = token + worker name (see the module docstring).
+            fault_point("worker-death", key=claim.token + worker, attempt=stats.executed)
             job_started = time.monotonic()
             record, ok = _run_claim(claim, trace, policy, worker, stats)
             elapsed = time.monotonic() - job_started
@@ -252,6 +286,8 @@ def drain_queue(
     poll: float = 0.2,
     exit_when_empty: bool = True,
     max_jobs: Optional[int] = None,
+    guard: Optional[PressureGuard] = None,
+    deadline: Optional[float] = None,
 ) -> WorkerStats:
     """Drain ``queue`` until it is empty (or ``max_jobs`` have run).
 
@@ -266,6 +302,15 @@ def drain_queue(
     drainer (the ``repro-sim worker --keep-alive`` mode) — it must then
     be stopped externally.  ``max_jobs`` bounds total executions, for
     tests and canary workers.
+
+    ``guard`` enables resource-pressure checks at the top of every
+    claim round: when it reports pressure the worker stops claiming and
+    exits cleanly (``stats.stopped = "pressure"``) with whatever it
+    already published intact — no lease is held mid-write when the disk
+    fills.  ``deadline`` (a ``time.monotonic()`` timestamp) likewise
+    stops *claiming* once reached while letting the in-flight batch
+    finish (``stats.stopped = "deadline"``); unclaimed jobs stay in the
+    queue for a later resume.
     """
     if batch < 1:
         raise ValueError(f"batch must be >= 1 (got {batch})")
@@ -280,6 +325,19 @@ def drain_queue(
         while True:
             if max_jobs is not None and stats.executed >= max_jobs:
                 break
+            if deadline is not None and time.monotonic() >= deadline:
+                stats.stopped = "deadline"
+                stats.degradations.append(
+                    f"deadline: stopped claiming after {time.monotonic() - started:.1f}s"
+                )
+                break
+            if guard is not None:
+                reason = guard.check()
+                stats.pressure_checks = guard.checks
+                if reason is not None:
+                    stats.stopped = "pressure"
+                    stats.degradations.append(f"pressure-exit: {reason}")
+                    break
             limit = batch
             if max_jobs is not None:
                 limit = min(limit, max_jobs - stats.executed)
@@ -301,5 +359,7 @@ def drain_queue(
     finally:
         heartbeat.stop()
         stats.drain_s = time.monotonic() - started
+        stats.queue_quarantined = queue.quarantined
+        stats.poisoned = queue.poisoned
         queue.write_stats(worker, stats.to_dict())
     return stats

@@ -17,6 +17,7 @@ Directory layout under the queue root::
     jobs/<key>.json               submitted, unclaimed job records
     leases/<key>.g<gen>.<owner>.json   claimed: the job file, renamed
     done/<key>.json               outcome records (ok or failed)
+    quarantine/<key>.json         sealed poison-job forensics records
     hb/<owner>.json               per-worker heartbeat counters
     stats/<owner>.json            per-worker drain statistics
     logs/<owner>.log              spawned-worker stdout/stderr
@@ -54,6 +55,22 @@ mtimes — cannot cause a false steal or an immortal lease.  A revived
 owner whose lease was stolen discovers it harmlessly: its ``done/``
 write is idempotent (same key, same deterministic result) and its
 lease unlink finds the file already renamed away.
+
+**Poison jobs.**  Steps 1–4 assume worker deaths are *about the
+worker*.  A job that reliably kills its executor (a config that
+segfaults a compiled kernel leg, an allocation that draws the OOM
+killer) inverts that: every steal hands the grenade to the next
+worker, and the lease generation climbs forever while the fleet dies
+in rotation.  The generation counter in the lease filename is the
+tell — it counts executions that ended in a dead owner.  When a stale
+lease's *next* generation would exceed ``poison_threshold``, the
+would-be thief (or a supervisor's :meth:`FileQueue.poison_sweep`)
+renames the lease into ``quarantine/`` instead of executing it — the
+same one-winner arbitration as a steal — and writes a sealed
+forensics record: reason, generation, execution count, last owner,
+the tail of that owner's log, and the job record itself so the job
+can be resubmitted after the underlying fault is fixed
+(``submit`` deliberately treats quarantined keys as unknown).
 """
 
 from __future__ import annotations
@@ -74,6 +91,25 @@ from repro.analysis.resilience import job_token
 #: TTL keeps a live owner comfortably ahead of any thief's staleness
 #: timer while costing one small atomic write per interval.
 _BEAT_FRACTION = 0.25
+
+#: Highest lease generation still allowed to execute.  Generation ``g``
+#: means ``g`` owners already died holding this job, so the default
+#: tolerates ``DEFAULT_POISON_THRESHOLD + 1`` executions before the job
+#: is declared poison and quarantined.
+DEFAULT_POISON_THRESHOLD = 3
+
+POISON_THRESHOLD_ENV = "REPRO_POISON_THRESHOLD"
+
+#: Bytes of the last owner's log captured into the forensics record.
+_LOG_TAIL_BYTES = 4096
+
+
+def default_poison_threshold() -> int:
+    try:
+        value = int(os.environ.get(POISON_THRESHOLD_ENV, ""))
+    except ValueError:
+        return DEFAULT_POISON_THRESHOLD
+    return value if value > 0 else DEFAULT_POISON_THRESHOLD
 
 
 def new_worker_id() -> str:
@@ -127,24 +163,39 @@ class FileQueue:
     the same root.
     """
 
-    def __init__(self, root: os.PathLike | str, lease_ttl: float = 30.0) -> None:
+    def __init__(
+        self,
+        root: os.PathLike | str,
+        lease_ttl: float = 30.0,
+        poison_threshold: Optional[int] = None,
+    ) -> None:
         if lease_ttl <= 0:
             raise ValueError(f"lease_ttl must be positive (got {lease_ttl})")
         self.root = Path(root)
         self.lease_ttl = float(lease_ttl)
+        self.poison_threshold = (
+            poison_threshold if poison_threshold is not None else default_poison_threshold()
+        )
+        if self.poison_threshold <= 0:
+            raise ValueError(
+                f"poison_threshold must be positive (got {self.poison_threshold})"
+            )
         self.jobs_dir = self.root / "jobs"
         self.leases_dir = self.root / "leases"
         self.done_dir = self.root / "done"
+        self.quarantine_dir = self.root / "quarantine"
         self.hb_dir = self.root / "hb"
         self.stats_dir = self.root / "stats"
         self.logs_dir = self.root / "logs"
         for directory in (
             self.jobs_dir, self.leases_dir, self.done_dir,
-            self.hb_dir, self.stats_dir, self.logs_dir,
+            self.quarantine_dir, self.hb_dir, self.stats_dir, self.logs_dir,
         ):
             directory.mkdir(parents=True, exist_ok=True)
         #: Done/job records rejected for a digest mismatch (read-side count).
         self.quarantined = 0
+        #: Poison jobs this instance moved into ``quarantine/``.
+        self.poisoned = 0
         #: owner -> (last observed beat payload, local monotonic time it
         #: was first observed).  The only state stealing depends on.
         self._observed: Dict[str, Tuple[Optional[int], float]] = {}
@@ -321,6 +372,12 @@ class FileQueue:
                 continue
             if not self._owner_is_stale(owner):
                 continue
+            if generation + 1 > self.poison_threshold:
+                # Executing this lease would be death number gen+2 for
+                # the fleet; quarantine it instead of riding the steal
+                # loop forever.
+                self._quarantine_poison(key, generation, owner, path)
+                continue
             target = self.leases_dir / f"{key}.g{generation + 1}.{worker}.json"
             try:
                 os.rename(path, target)
@@ -332,6 +389,134 @@ class FileQueue:
             if claim is not None:
                 claims.append(claim)
         return claims
+
+    # ------------------------------------------------------------------
+    # Poison-job quarantine
+    # ------------------------------------------------------------------
+    def _log_tail(self, owner: str) -> str:
+        """The last worker's final log bytes — the closest thing a dead
+        subprocess leaves to a stack trace."""
+        path = self.logs_dir / f"{owner}.log"
+        try:
+            with open(path, "rb") as fh:
+                fh.seek(0, os.SEEK_END)
+                size = fh.tell()
+                fh.seek(max(0, size - _LOG_TAIL_BYTES))
+                return fh.read().decode("utf-8", errors="replace")
+        except OSError:
+            return ""
+
+    def _quarantine_poison(self, key: str, generation: int, owner: str, path: Path) -> bool:
+        """Move one lease into quarantine; the rename picks one winner.
+
+        Returns whether *this* caller performed the quarantine.
+        """
+        # The captured name keeps the lease's key/generation/owner so a
+        # crash between this rename and the record write below loses no
+        # information: the recovery pass in ``poison_sweep`` finishes
+        # the record from the filename alone.
+        captured = self.quarantine_dir / f"{key}.g{generation}.{owner}.lease"
+        try:
+            os.rename(path, captured)
+        except OSError:
+            return False  # another thief/supervisor got there first
+        lease = _load_json(captured) or {}
+        record = seal_record({
+            "key": key,
+            "reason": (
+                f"poison job: {generation + 1} execution(s) each ended with a dead "
+                f"worker (lease generation {generation}, threshold {self.poison_threshold})"
+            ),
+            "generation": generation,
+            "executions": generation + 1,
+            "last_owner": owner,
+            "last_worker_log_tail": self._log_tail(owner),
+            "token": lease.get("token", ""),
+            "job": lease.get("job"),
+        })
+        _atomic_write_json(self.quarantine_dir / f"{key}.json", record)
+        try:
+            captured.unlink(missing_ok=True)
+        except OSError:
+            pass
+        self.poisoned += 1
+        return True
+
+    def poison_sweep(self) -> int:
+        """Quarantine every stale lease past the poison threshold.
+
+        The supervisor's half of poison detection: it never executes
+        jobs itself, so without this only a *worker* surviving long
+        enough to attempt a steal could retire a poison job.  Uses the
+        same per-instance staleness observations as :meth:`steal`.
+        """
+        swept = 0
+        # Recovery: a captured lease without its forensics record means
+        # a quarantiner died mid-quarantine; finish its paperwork.
+        for stranded in sorted(self.quarantine_dir.glob("*.lease")):
+            parts = stranded.name[: -len(".lease")].split(".")
+            if len(parts) != 3 or not parts[1].startswith("g"):
+                continue
+            if (self.quarantine_dir / f"{parts[0]}.json").exists():
+                try:
+                    stranded.unlink(missing_ok=True)
+                except OSError:
+                    pass
+                continue
+            try:
+                generation = int(parts[1][1:])
+            except ValueError:
+                continue
+            lease = _load_json(stranded) or {}
+            record = seal_record({
+                "key": parts[0],
+                "reason": (
+                    f"poison job: {generation + 1} execution(s) each ended with a "
+                    f"dead worker (lease generation {generation}, threshold "
+                    f"{self.poison_threshold}; record recovered after a "
+                    "quarantiner died mid-quarantine)"
+                ),
+                "generation": generation,
+                "executions": generation + 1,
+                "last_owner": parts[2],
+                "last_worker_log_tail": self._log_tail(parts[2]),
+                "token": lease.get("token", ""),
+                "job": lease.get("job"),
+            })
+            _atomic_write_json(self.quarantine_dir / f"{parts[0]}.json", record)
+            try:
+                stranded.unlink(missing_ok=True)
+            except OSError:
+                pass
+            self.poisoned += 1
+            swept += 1
+        for key, generation, owner, path in self.leases():
+            if generation + 1 <= self.poison_threshold:
+                continue
+            if self.is_done(key):
+                continue  # retired by claim/steal paths on sight
+            if not self._owner_is_stale(owner):
+                continue
+            if self._quarantine_poison(key, generation, owner, path):
+                swept += 1
+        return swept
+
+    def quarantine_record(self, key: str) -> Optional[Dict]:
+        """The sealed quarantine record for ``key`` (``None`` if absent
+        or failing its digest — a corrupt forensics record is worthless)."""
+        record = _load_json(self.quarantine_dir / f"{key}.json")
+        if record is None or not record_intact(record):
+            return None
+        return record
+
+    def collect_quarantined(self) -> Dict[str, Dict]:
+        """Every intact quarantine record, keyed by job key."""
+        out = {}
+        for path in sorted(self.quarantine_dir.glob("*.json")):
+            record = self.quarantine_record(path.stem)
+            if record is not None:
+                out[path.stem] = record
+        return out
 
     def release(self, claim: Claim) -> None:
         """Return a claimed job to the unclaimed pool (graceful shutdown)."""
@@ -411,6 +596,9 @@ class FileQueue:
             "leases": leases,
             "done": sum(1 for _ in self.done_dir.glob("*.json")),
             "quarantined": self.quarantined,
+            # From the directory, not the instance counter: every
+            # process sees the same poison verdicts.
+            "poisoned": sum(1 for _ in self.quarantine_dir.glob("*.json")),
         }
 
     def write_stats(self, worker: str, stats: Dict) -> None:

@@ -134,9 +134,15 @@ def _sweep_backend(args: argparse.Namespace):
             queue_dir=args.queue_dir,
             spawn=args.queue_workers,
             batch=args.queue_batch,
+            supervise=args.supervised,
+            poison_threshold=args.poison_threshold,
         )
-    if args.queue_dir or args.queue_workers is not None:
-        raise ValueError("--queue-dir/--queue-workers require --backend shared-fs")
+    if (args.queue_dir or args.queue_workers is not None or args.supervised
+            or args.poison_threshold is not None):
+        raise ValueError(
+            "--queue-dir/--queue-workers/--supervised/--poison-threshold "
+            "require --backend shared-fs"
+        )
     return args.backend  # "pool" resolves via the registry; None defers to env
 
 
@@ -152,6 +158,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.resume:
         done = len(journal.completed())
         print(f"resuming {run_id}: {done} job(s) already journaled")
+        domains = journal.domains()
+        if domains:
+            print(
+                "  failure domains from the previous run: "
+                + ", ".join(f"{kind}={count}" for kind, count in sorted(domains.items()))
+            )
         if journal.quarantined:
             print(
                 f"journal quarantine: {journal.quarantined} corrupt line(s) refused; "
@@ -166,6 +178,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             results = sweep_history_sizes(
                 args.workload, cfg, n_insts=args.insts, seed=args.seed,
                 workers=args.workers, policy=policy, journal=journal, backend=backend,
+                deadline=args.deadline,
             )
             table = Table(
                 f"history-size sweep — {args.workload}", ["entries", "IPC", "good", "bad"]
@@ -176,6 +189,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             results = sweep_l1_ports(
                 args.workload, n_insts=args.insts, seed=args.seed,
                 workers=args.workers, policy=policy, journal=journal, backend=backend,
+                deadline=args.deadline,
             )
             table = Table(f"L1-port sweep — {args.workload}", ["ports", "IPC", "bad/good"])
             for ports, r in results.items():
@@ -183,7 +197,24 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     except JobsFailedError as exc:
         # Everything that completed is journaled; only the failures rerun.
         print(f"sweep incomplete: {exc}", file=sys.stderr)
+        partial = exc.report.partial_results()
+        if partial["deadline_hit"] or partial["unclaimed"] or partial["quarantined"]:
+            # Deadline-bounded / quarantined sweeps end partially on
+            # purpose — say exactly what landed and what did not.
+            print(
+                f"  partial results: {partial['completed']}/{partial['total']} completed, "
+                f"{partial['unclaimed']} unclaimed"
+                + (" at the deadline" if partial["deadline_hit"] else "")
+                + f", {partial['quarantined']} quarantined as poison",
+                file=sys.stderr,
+            )
+            domains = ", ".join(
+                f"{kind}={count}" for kind, count in sorted(partial["by_domain"].items())
+            )
+            print(f"  failure domains: {domains}", file=sys.stderr)
         for outcome in exc.report.failures:
+            if outcome.unclaimed:
+                continue  # summarised above; not an error per job
             last = outcome.attempts[-1] if outcome.attempts else None
             detail = f"{last.kind}: {last.error}" if last else "no attempts"
             print(f"  job[{outcome.index}] {detail}", file=sys.stderr)
@@ -210,28 +241,44 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     that dies mid-lease is detected by heartbeat silence and its work
     stolen (see :mod:`repro.analysis.workqueue`).
     """
+    import time
+
     from repro.analysis.parallel import _mark_pool_worker
     from repro.analysis.resilience import RetryPolicy
     from repro.analysis.worker import drain_queue
-    from repro.analysis.workqueue import FileQueue
+    from repro.analysis.workqueue import FileQueue, new_worker_id
+    from repro.common.diskio import PressureGuard, parse_size
     from repro.trace.store import TraceStore
 
     # A queue worker is a leaf: anything it runs must stay serial (no
     # nested pools), and `exit` faults may hard-kill it like any pool
     # worker.
     _mark_pool_worker()
-    queue = FileQueue(args.queue_dir, lease_ttl=args.lease_ttl)
+    name = args.name or new_worker_id()
+    queue = FileQueue(
+        args.queue_dir, lease_ttl=args.lease_ttl, poison_threshold=args.poison_threshold
+    )
     policy = RetryPolicy(max_attempts=max(1, args.retries + 1), timeout=args.timeout)
     store = TraceStore(args.trace_store) if args.trace_store else None
+    # The guard's fault key carries the worker name, so a chaos plan can
+    # open a pressure window for exactly one incarnation (`match=s2r0`).
+    guard = PressureGuard(queue.root, key=f"{queue.root}|{name}")
+    if args.min_free is not None:
+        guard.min_free_bytes = parse_size(args.min_free, "--min-free")
+    if args.max_rss is not None:
+        guard.max_rss_bytes = parse_size(args.max_rss, "--max-rss")
+    deadline = time.monotonic() + args.deadline if args.deadline is not None else None
     stats = drain_queue(
         queue,
-        worker=args.name,
+        worker=name,
         batch=args.batch,
         policy=policy,
         trace_store=store,
         poll=args.poll,
         exit_when_empty=not args.keep_alive,
         max_jobs=args.max_jobs,
+        guard=guard,
+        deadline=deadline,
     )
     print(
         f"worker {stats.worker}: {stats.executed} job(s) "
@@ -241,7 +288,62 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     )
     for event in stats.degradations:
         print(f"  degradation: {event}", file=sys.stderr)
+    if stats.stopped == "pressure":
+        # EX_TEMPFAIL-style exit: the host, not the work, is the problem.
+        # A supervisor restarts this worker without burning crash budget.
+        print(f"worker {stats.worker}: drained-and-exited on resource pressure", file=sys.stderr)
+        return 75
     return 0 if stats.failed == 0 else 1
+
+
+def _cmd_supervise(args: argparse.Namespace) -> int:
+    """``repro-sim supervise``: keep a worker fleet at strength over a queue.
+
+    Spawns ``--workers`` ``repro-sim worker`` subprocesses against
+    ``--queue-dir``, restarts the ones that crash (capped exponential
+    backoff) or exit under resource pressure (constant backoff), and
+    quarantines poison jobs — jobs whose lease generation climbs past
+    the threshold because every executor dies (see
+    :mod:`repro.analysis.supervisor`).
+    """
+    from repro.analysis.supervisor import FleetSupervisor
+    from repro.analysis.workqueue import FileQueue
+
+    queue = FileQueue(
+        args.queue_dir, lease_ttl=args.lease_ttl, poison_threshold=args.poison_threshold
+    )
+    supervisor = FleetSupervisor(
+        queue,
+        workers=args.workers,
+        batch=args.batch,
+        poll=args.poll,
+        worker_poll=args.poll,
+        retries=args.retries,
+        timeout=args.timeout,
+        deadline=args.deadline,
+        max_restarts=args.max_restarts,
+        trace_store_dir=args.trace_store,
+    )
+    report = supervisor.run()
+    counts = report.counts
+    print(
+        f"supervisor: {report.stopped or 'stopped'} after {report.elapsed_s:.2f}s "
+        f"({report.workers} worker slot(s), {report.restarts} restart(s): "
+        f"{report.crash_restarts} crash, {report.pressure_restarts} pressure)"
+    )
+    print(
+        f"  queue: {counts.get('done', 0)} done, {counts.get('jobs', 0)} waiting, "
+        f"{counts.get('leases', 0)} leased, {counts.get('poisoned', 0)} poisoned, "
+        f"{counts.get('quarantined', 0)} corrupt-record quarantine(s)"
+    )
+    for event in report.events:
+        print(f"  {event}", file=sys.stderr)
+    if report.poisoned:
+        print(
+            f"  poison forensics: {queue.quarantine_dir}",
+            file=sys.stderr,
+        )
+    return 0 if report.drained else 1
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -594,6 +696,8 @@ def _bench_sweep(args: argparse.Namespace, lint_health: dict | None = None) -> i
     identical = True
     worker_counts = sorted({1, 2} | ({args.workers} if args.workers > 2 else set()))
     cache_stats = None
+    queue_quarantined = 0
+    queue_poisoned = 0
     for n_workers in worker_counts:
         with tempfile.TemporaryDirectory() as scratch:
             backend = SharedFSBackend(
@@ -608,6 +712,8 @@ def _bench_sweep(args: argparse.Namespace, lint_health: dict | None = None) -> i
             seconds = time.perf_counter() - t0
             identical = identical and fingerprints(results) == expected
             stats_list = backend.last_worker_stats or [backend.last_parent_stats]
+            queue_quarantined += backend.last_counts.get("quarantined", 0)
+            queue_poisoned += backend.last_counts.get("poisoned", 0)
             if cache is not None:
                 cache_stats = cache.stats
             label = f"shared-fs[{n_workers}w]"
@@ -644,6 +750,22 @@ def _bench_sweep(args: argparse.Namespace, lint_health: dict | None = None) -> i
         "drains": drains,
         "results_identical": identical,
     }
+    # Health block: quarantines are invisible in throughput numbers, so
+    # surface every flavour — corrupt queue records refused on read,
+    # poison jobs sealed off, and cache-side corruption/pressure skips.
+    health = {
+        "queue_quarantined": queue_quarantined,
+        "queue_poisoned": queue_poisoned,
+    }
+    if cache_stats is not None:
+        health["cache_quarantined"] = cache_stats.get("quarantined", 0)
+        health["cache_pressure_skipped"] = cache_stats.get("pressure_skipped", 0)
+    report["health"] = health
+    if any(health.values()):
+        print(
+            "health: "
+            + ", ".join(f"{name}={count}" for name, count in health.items() if count)
+        )
     if cache_stats is not None:
         report["cache"] = cache_stats
     if lint_health is not None:
@@ -862,6 +984,21 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="shared-fs backend: jobs claimed per worker per round (the "
         "trace-amortization batch size)",
     )
+    p_swp.add_argument(
+        "--supervised", action="store_true",
+        help="shared-fs backend: drain under a fleet supervisor (crashed/"
+        "pressure-exited workers are restarted; poison jobs quarantined)",
+    )
+    p_swp.add_argument(
+        "--poison-threshold", type=int, default=None,
+        help="shared-fs backend: max lease generation before a job that keeps "
+        "killing its workers is quarantined (default: REPRO_POISON_THRESHOLD or 3)",
+    )
+    p_swp.add_argument(
+        "--deadline", type=float, default=None,
+        help="global wall-clock budget in seconds: stop starting jobs at the "
+        "deadline, report honest partial results, finish later with --resume",
+    )
     _add_common(p_swp)
     p_swp.set_defaults(func=_cmd_sweep)
 
@@ -897,7 +1034,66 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--trace-store", default=None,
         help="on-disk trace store directory (default: synthesise traces in-process)",
     )
+    p_wk.add_argument(
+        "--deadline", type=float, default=None,
+        help="stop claiming new jobs this many seconds from startup "
+        "(in-flight jobs finish; exit 0)",
+    )
+    p_wk.add_argument(
+        "--poison-threshold", type=int, default=None,
+        help="max lease generation before a stale lease is quarantined as a "
+        "poison job instead of stolen (default: REPRO_POISON_THRESHOLD or 3)",
+    )
+    p_wk.add_argument(
+        "--min-free", default=None, metavar="SIZE",
+        help="drain-and-exit (code 75) when free disk under the queue drops "
+        "below SIZE (e.g. 256m; default: REPRO_MIN_FREE_BYTES or 32m)",
+    )
+    p_wk.add_argument(
+        "--max-rss", default=None, metavar="SIZE",
+        help="drain-and-exit (code 75) when this worker's RSS exceeds SIZE "
+        "(e.g. 2g; default: REPRO_MAX_RSS, else unlimited)",
+    )
     p_wk.set_defaults(func=_cmd_worker)
+
+    p_sv = sub.add_parser(
+        "supervise",
+        help="spawn and supervise a worker fleet over a shared queue: restart "
+        "crashes with backoff, quarantine poison jobs, honour a deadline",
+    )
+    p_sv.add_argument("--queue-dir", required=True, help="queue root directory")
+    p_sv.add_argument("--workers", type=int, default=2, help="worker slots to keep filled")
+    p_sv.add_argument(
+        "--batch", type=int, default=8, help="jobs claimed per worker per round"
+    )
+    p_sv.add_argument(
+        "--lease-ttl", type=float, default=30.0,
+        help="seconds of heartbeat silence before a worker's leases become stealable",
+    )
+    p_sv.add_argument("--poll", type=float, default=0.2, help="monitor poll interval in seconds")
+    p_sv.add_argument("--retries", type=int, default=1, help="retries per failed job (per worker)")
+    p_sv.add_argument(
+        "--timeout", type=float, default=None, help="per-job wall-clock timeout in seconds"
+    )
+    p_sv.add_argument(
+        "--deadline", type=float, default=None,
+        help="stop the fleet this many seconds from startup (workers stop "
+        "claiming; in-flight jobs finish)",
+    )
+    p_sv.add_argument(
+        "--max-restarts", type=int, default=10,
+        help="restart budget per worker slot before it is retired",
+    )
+    p_sv.add_argument(
+        "--poison-threshold", type=int, default=None,
+        help="max lease generation before a job that keeps killing workers is "
+        "quarantined (default: REPRO_POISON_THRESHOLD or 3)",
+    )
+    p_sv.add_argument(
+        "--trace-store", default=None,
+        help="on-disk trace store directory handed to every worker",
+    )
+    p_sv.set_defaults(func=_cmd_supervise)
 
     p_vf = sub.add_parser(
         "verify",

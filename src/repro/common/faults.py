@@ -55,6 +55,13 @@ Kinds and where they fire:
 * ``shm-unavailable`` — returned to the call site, which raises
   ``OSError`` from ``share_trace`` (exercises the no-shared-memory
   fallback).
+* ``enospc`` — returned to the ``pressure`` check points, which treat
+  the disk as full (free bytes = 0) so workers drain-and-exit and the
+  stores skip writes instead of dying mid-write (exercises the
+  resource-pressure guards without actually filling a filesystem).
+* ``mem-pressure`` — returned to the ``pressure`` check points, which
+  report resident-set pressure regardless of the real RSS (exercises
+  the same drain-and-exit path for the memory side).
 
 Plans are ambient (``REPRO_FAULTS`` / ``REPRO_FAULT_SEED`` environment
 variables, so forked pool workers inherit them) or explicit (an
@@ -90,6 +97,8 @@ KINDS = (
     "corrupt-artifact",
     "invariant-trip",
     "shm-unavailable",
+    "enospc",
+    "mem-pressure",
 )
 
 #: The auditable fault-site registry: every ``fault_point("<site>")``
@@ -107,6 +116,7 @@ SITES = {
     "sanitizer": "live model state corrupted immediately before an invariant sweep",
     "worker-death": "a queue worker process dying mid-lease (OOM-kill, host loss)",
     "stale-lease": "a queue worker's heartbeat writes never reaching the shared FS",
+    "pressure": "the host running out of free disk or resident memory mid-sweep",
 }
 
 

@@ -45,7 +45,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.common.diskio import sweep_stale_tmp, tmp_path_for
+from repro.common.diskio import PressureGuard, sweep_stale_tmp, tmp_path_for
 from repro.common.faults import fault_point
 from repro.trace.stream import Trace
 
@@ -117,6 +117,10 @@ class TraceStore:
         self.hits = 0
         self.misses = 0
         self.quarantined = 0
+        self.pressure_skipped = 0
+        # Disk-only guard (see ResultCache): traces are rebuildable, so
+        # skipping a write under pressure costs time, never correctness.
+        self._pressure = PressureGuard(self.directory, max_rss_bytes=None)
         self.stale_tmp_removed = sweep_stale_tmp(self.directory)
 
     @property
@@ -126,6 +130,7 @@ class TraceStore:
             "hits": self.hits,
             "misses": self.misses,
             "quarantined": self.quarantined,
+            "pressure_skipped": self.pressure_skipped,
             "stale_tmp_removed": self.stale_tmp_removed,
         }
 
@@ -165,6 +170,9 @@ class TraceStore:
         return trace
 
     def put(self, key: str, trace: Trace) -> None:
+        if self._pressure.check() is not None:
+            self.pressure_skipped += 1
+            return
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self._path(key)
         tmp = tmp_path_for(path)

@@ -165,3 +165,72 @@ class TestEviction:
         assert len(a) <= 2
         total = sum(p.stat().st_size for p in a.directory.glob("*.json"))
         assert total <= a.budget_bytes
+
+
+_CONCURRENT_WRITER = """
+import json, sys, time
+from repro.analysis.result_cache import ResultCache, result_from_dict, run_key
+from repro.common.config import FilterKind, SimulationConfig
+
+cache_dir, result_json, budget, base = sys.argv[1:5]
+with open(result_json) as fh:
+    result = result_from_dict(json.load(fh))
+cache = ResultCache(cache_dir, budget=int(budget))
+cfg = SimulationConfig.paper_default(FilterKind.PA)
+last = None
+for seed in range(int(base), int(base) + 4):
+    last = run_key("em3d", cfg, 6000, seed)
+    cache.put(last, result)
+    time.sleep(0.05)
+print(json.dumps({"evicted": cache.evicted, "last": last}))
+"""
+
+
+def test_concurrent_evictors_never_double_count(tmp_path, sample_result):
+    """Two processes evicting from one directory: every removed file is
+    charged to exactly one ``evicted`` counter (the flock serialises the
+    pass; a lost unlink race must not be counted by the loser)."""
+    import json
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    from repro.analysis.result_cache import result_to_dict
+
+    size = _entry_size(tmp_path, sample_result)
+    cache_dir = tmp_path / "shared"
+    # parent pre-fills 6 cold entries through an UNBUDGETED handle, so
+    # the parent itself never evicts and the arithmetic below is clean
+    _fill(ResultCache(cache_dir), sample_result, 6)
+    result_json = tmp_path / "result.json"
+    result_json.write_text(json.dumps(result_to_dict(sample_result)))
+
+    env = dict(os.environ)
+    src_root = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("REPRO_CACHE_BUDGET", None)
+    budget = 3 * size + size // 2
+    procs = [
+        subprocess.Popen(
+            [sys.executable, "-c", _CONCURRENT_WRITER, str(cache_dir),
+             str(result_json), str(budget), base],
+            env=env, stdout=subprocess.PIPE, text=True,
+        )
+        for base in ("100", "200")
+    ]
+    reports = []
+    for proc in procs:
+        out, _ = proc.communicate(timeout=120)
+        assert proc.returncode == 0, out
+        reports.append(json.loads(out))
+
+    survivors = {p.stem for p in cache_dir.glob("*.json")}
+    written = 6 + 8
+    evicted_total = sum(r["evicted"] for r in reports)
+    # exactly-once accounting: files gone == evictions claimed, no
+    # double count when both processes raced for the same victim
+    assert evicted_total == written - len(survivors)
+    assert evicted_total > 0  # the budget really did force evictions
+    # each writer's newest entry survived the other's eviction passes
+    for r in reports:
+        assert r["last"] in survivors

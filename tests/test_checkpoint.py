@@ -184,3 +184,54 @@ class TestSweepResumeCLI:
         assert calls == []  # every job replayed from the journal
         assert f"resuming {run_id}" in out
         assert first_table in out  # identical table from journaled results
+
+
+class TestInterleavedWriters:
+    """Two workers appending to one journal, as a shared-FS drain does."""
+
+    @staticmethod
+    def _line(record):
+        from repro.analysis.checkpoint import seal_record
+
+        return json.dumps(seal_record(record), separators=(",", ":")) + "\n"
+
+    def test_interleaved_appends_with_a_torn_tail_replay_cleanly(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with open(path, "w") as fh:
+            # worker A fails k1; B lands k2; B retries k1 and wins
+            # (last writer wins); A lands k3; then A dies mid-write,
+            # tearing the k4 line.
+            fh.write(self._line({
+                "key": "k1", "ok": False, "error": "boom",
+                "attempts": [{"attempt": 0, "kind": "exception", "error": "boom"}],
+            }))
+            fh.write(self._line({"key": "k2", "ok": True, "result": {"w": "em3d"}}))
+            fh.write(self._line({"key": "k1", "ok": True, "result": {"w": "em3d"}}))
+            fh.write(self._line({"key": "k3", "ok": True, "result": {"w": "em3d"}}))
+            fh.write('{"key": "k4", "ok": true, "res')  # torn tail, no newline
+        journal = RunJournal(path)
+        records = journal.load()
+        assert set(records) == {"k1", "k2", "k3"}
+        assert records["k1"]["ok"] is True  # B's retry superseded A's failure
+        assert journal.quarantined == 0  # torn != tampered: no digest mismatch
+        assert journal.failed() == {}
+
+    def test_domains_histogram_reads_the_latest_record_per_key(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with open(path, "w") as fh:
+            fh.write(self._line({
+                "key": "k1", "ok": False, "error": "t",
+                "attempts": [{"attempt": 0, "kind": "timeout", "error": "t"}],
+            }))
+            fh.write(self._line({
+                "key": "k2", "ok": False, "error": "t",
+                "attempts": [{"attempt": 0, "kind": "timeout", "error": "t"}],
+            }))
+            fh.write(self._line({
+                "key": "k3", "ok": False, "error": "p",
+                "attempts": [{"attempt": 0, "kind": "poisoned", "error": "p"}],
+            }))
+            fh.write(self._line({"key": "k4", "ok": False, "error": "?"}))  # no attempts
+            fh.write(self._line({"key": "k1", "ok": True, "result": {"w": "em3d"}}))
+        journal = RunJournal(path)
+        assert journal.domains() == {"timeout": 1, "poisoned": 1, "exception": 1}

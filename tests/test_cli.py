@@ -48,6 +48,21 @@ class TestCLI:
         assert report["trace_store"][0]["cold_seconds"] > 0
         assert "vector" in report["summary"]
 
+    def test_bench_sweep_report_carries_a_health_block(self, capsys, tmp_path):
+        out = tmp_path / "bench_sweep.json"
+        assert main([
+            "bench", "--sweep", "--runs", "4", "--insts", "2000",
+            "--workload", "em3d", "--out", str(out), "--no-cache",
+        ]) == 0
+        import json
+
+        report = json.loads(out.read_text())
+        assert report["results_identical"] is True
+        # quarantines are invisible in throughput numbers; the health
+        # block surfaces them even when (especially when) all zero
+        assert report["health"] == {"queue_quarantined": 0, "queue_poisoned": 0}
+        assert len(report["drains"]) == 3  # serial + shared-fs at 1 and 2 workers
+
     def test_bench_rejects_unknown_engine(self, capsys):
         # Validated manually (not argparse choices) so the comma-separated
         # form gets the same one-line configuration error, exit code 2.

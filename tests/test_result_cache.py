@@ -126,7 +126,7 @@ class TestHealthCounters:
         assert cache.quarantined == 1
         assert cache.stats == {
             "hits": 0, "misses": 1, "quarantined": 1, "stale_tmp_removed": 0,
-            "evicted": 0, "budget_bytes": 0,
+            "evicted": 0, "budget_bytes": 0, "pressure_skipped": 0,
         }
 
     def test_plain_miss_is_not_quarantine(self, tmp_path):

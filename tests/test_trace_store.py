@@ -237,6 +237,7 @@ class TestStoreHealthCounters:
         assert store.quarantined == 1
         assert store.stats == {
             "hits": 0, "misses": 1, "quarantined": 1, "stale_tmp_removed": 0,
+            "pressure_skipped": 0,
         }
 
     def test_injected_corruption_is_observable(self, tmp_path):

@@ -84,7 +84,9 @@ def test_death_mid_lease_is_stolen_and_resumes_bit_identically(tmp_path):
     rescue = FileQueue(tmp_path / "q", lease_ttl=0.4)  # fresh observer state
     stats = drain_queue(rescue, worker="rescuer", batch=4, poll=0.05)
     assert stats.stolen == held  # the dead worker's leases were stolen
-    assert rescue.counts() == {"jobs": 0, "leases": 0, "done": 6, "quarantined": 0}
+    assert rescue.counts() == {
+        "jobs": 0, "leases": 0, "done": 6, "quarantined": 0, "poisoned": 0,
+    }
     assert _drained_fingerprints(rescue, jobs) == serial
 
 
@@ -284,3 +286,31 @@ def test_elapsed_time_is_wall_clock_not_cross_host(tmp_path):
     # both are now past THEIR OWN ttl; exactly one rename can win
     stolen = observer_a.steal("a", limit=1) + observer_b.steal("b", limit=1)
     assert len(stolen) == 1
+
+
+def test_timeout_enforced_post_hoc_when_draining_off_the_main_thread(tmp_path):
+    """SIGALRM only arms on the main thread; a drain hosted anywhere else
+    must still charge timeout attempts via the monotonic fallback."""
+    import threading
+
+    jobs = _jobs(1)
+    queue = FileQueue(tmp_path / "q", lease_ttl=5.0)
+    queue.submit(jobs)
+    policy = RetryPolicy(max_attempts=1, timeout=0.05, **FAST)
+    box = {}
+
+    def _drain():
+        with inject_faults("hang@worker:seconds=0.3"):
+            box["stats"] = drain_queue(queue, worker="bg", batch=1, policy=policy, poll=0.05)
+
+    thread = threading.Thread(target=_drain)
+    thread.start()
+    thread.join(timeout=60)
+    assert not thread.is_alive()
+    stats = box["stats"]
+    # the overrunning job was charged a timeout, not silently accepted
+    assert stats.failed == 1 and stats.executed == 1
+    assert any("post-hoc monotonic" in d for d in stats.degradations)
+    record = queue.done_record(jobs[0].key())
+    assert record is not None and record["ok"] is False
+    assert record["attempts"][-1]["kind"] == "timeout"

@@ -248,7 +248,9 @@ def test_counts_snapshot(queue):
     queue.claim("w1", limit=1)
     done = queue.claim("w1", limit=1)
     queue.complete(done[0], {"ok": True, "result": {}, "attempts": []})
-    assert queue.counts() == {"jobs": 2, "leases": 1, "done": 1, "quarantined": 0}
+    assert queue.counts() == {
+        "jobs": 2, "leases": 1, "done": 1, "quarantined": 0, "poisoned": 0,
+    }
 
 
 def test_worker_stats_roundtrip(queue):
@@ -275,3 +277,89 @@ def test_claim_dataclass_is_frozen(queue):
     assert isinstance(claim, Claim)
     with pytest.raises(AttributeError):
         claim.key = "other"
+
+
+# ----------------------------------------------------------------------
+# Poison-job quarantine
+# ----------------------------------------------------------------------
+def _steal_chain(tmp_path, thief_name, ttl=0.2, threshold=2):
+    """A fresh observer that waits out one TTL, then steals (or not)."""
+    thief = FileQueue(tmp_path / "q", lease_ttl=ttl, poison_threshold=threshold)
+    thief.steal(thief_name, limit=1)  # first sighting starts its timer
+    time.sleep(ttl + 0.05)
+    return thief, thief.steal(thief_name, limit=1)
+
+
+def test_steal_quarantines_past_the_poison_threshold(tmp_path):
+    q = FileQueue(tmp_path / "q", lease_ttl=0.2, poison_threshold=2)
+    q.submit(_jobs(1))
+    (claim,) = q.claim("w0", limit=1)  # execution 1, generation 0
+    _, first = _steal_chain(tmp_path, "w1")
+    assert first and first[0].generation == 1  # execution 2: allowed
+    _, second = _steal_chain(tmp_path, "w2")
+    assert second and second[0].generation == 2  # execution 3 == threshold+1
+    thief, third = _steal_chain(tmp_path, "w3")
+    assert third == []  # generation 3 would mean a 4th death: quarantined
+    assert thief.poisoned == 1
+    assert q.counts()["poisoned"] == 1  # visible from every instance
+    assert q.outstanding() == (0, 0)  # the lease is gone, not stuck
+
+    record = q.quarantine_record(claim.key)
+    assert record is not None
+    assert record["executions"] == 3 and record["generation"] == 2
+    assert record["last_owner"] == "w2"
+    assert "poison job" in record["reason"]
+    assert record["token"] == claim.token
+    assert "last_worker_log_tail" in record
+    assert q.collect_quarantined() == {claim.key: record}
+
+
+def test_quarantine_record_survives_a_dead_quarantiner(tmp_path):
+    """A crash between the capture rename and the record write loses nothing."""
+    q = FileQueue(tmp_path / "q", lease_ttl=0.2, poison_threshold=1)
+    q.submit(_jobs(1))
+    (claim,) = q.claim("w0", limit=1)
+    # simulate _quarantine_poison dying right after its rename
+    os.rename(claim.path, q.quarantine_dir / f"{claim.key}.g1.w9.lease")
+    assert q.poison_sweep() == 1
+    record = q.quarantine_record(claim.key)
+    assert record is not None
+    assert record["executions"] == 2 and record["last_owner"] == "w9"
+    assert "recovered" in record["reason"]
+    assert not list(q.quarantine_dir.glob("*.lease"))
+
+
+def test_poison_sweep_quarantines_without_executing(tmp_path):
+    """The supervisor's path: no claim, no steal, no execution — only
+    observation of a stale lease already past the threshold."""
+    q = FileQueue(tmp_path / "q", lease_ttl=0.2, poison_threshold=1)
+    q.submit(_jobs(2))
+    q.claim("w0", limit=2)  # generation 0 on both
+    # hand-bump one lease past the threshold, as if stolen once already
+    key0 = sorted(p.name.split(".")[0] for p in q.leases_dir.glob("*.json"))[0]
+    src = q.leases_dir / f"{key0}.g0.w0.json"
+    os.rename(src, q.leases_dir / f"{key0}.g1.w1.json")
+    sup = FileQueue(tmp_path / "q", lease_ttl=0.2, poison_threshold=1)
+    assert sup.poison_sweep() == 0  # first sighting only starts the timer
+    time.sleep(0.25)
+    assert sup.poison_sweep() == 1  # g1 lease quarantined; g0 lease spared
+    assert sup.counts()["poisoned"] == 1
+    assert sup.counts()["leases"] == 1
+    assert sup.quarantine_record(key0) is not None
+
+
+def test_resubmitting_a_quarantined_job_requeues_it(tmp_path):
+    """Quarantine is a verdict on a run, not a life sentence for the key:
+    resubmitting after a fix runs the job again."""
+    q = FileQueue(tmp_path / "q", lease_ttl=0.2, poison_threshold=1)
+    jobs = _jobs(1)
+    q.submit(jobs)
+    (claim,) = q.claim("w0", limit=1)
+    os.rename(claim.path, q.leases_dir / f"{claim.key}.g1.w1.json")
+    q.steal("w2", limit=1)
+    time.sleep(0.25)
+    assert q.steal("w2", limit=1) == []  # quarantined instead
+    assert q.counts()["poisoned"] == 1
+    assert q.submit(jobs) == 1  # quarantined keys are not "known"
+    (again,) = q.claim("w3", limit=1)
+    assert again.key == claim.key and again.generation == 0
