@@ -17,6 +17,13 @@ does **not** own is where the simulations physically run.  That is an
   completes even if every spawned worker dies — stale leases get
   stolen), then folds the sealed ``done/`` records back into the
   batch's outcomes, cache, and journal.
+* :class:`TCPBackend` (``"tcp"``) — the same queue protocol over a
+  length-prefixed JSON TCP connection to ``repro-sim broker``
+  (:mod:`repro.analysis.netqueue`), for workers that share no
+  filesystem with the submitter.  Retries with capped backoff, per-op
+  idempotency, and honest ``unclaimed`` outcomes on broker loss keep
+  the bit-identical-resume guarantee across resets, stalls, and
+  partitions.
 
 The contract every backend must honour (and the chaos suite enforces):
 **swapping backends never changes results** — jobs are pure functions
@@ -288,9 +295,31 @@ class SharedFSBackend(ExecutionBackend):
         if deadline_hit:
             batch.report.deadline_hit = True
 
-        quarantined_records = queue.collect_quarantined()
+        self._fold_outcomes(batch, queue, key_to_indices, deadline_hit)
+        if owns_dir:
+            shutil.rmtree(root, ignore_errors=True)
+
+    def _fold_outcomes(self, batch, queue, key_to_indices: Dict[str, List[int]],
+                       deadline_hit: bool, disconnected: bool = False,
+                       done_records: Optional[Dict[str, Dict]] = None,
+                       quarantined_records: Optional[Dict[str, Dict]] = None) -> None:
+        """Fold the queue's records into the batch's outcomes.
+
+        Shared by the filesystem and TCP drains: done records complete
+        (or permanently fail) their outcomes, quarantine records become
+        journaled poison failures, and keys with no record become
+        honest ``unclaimed`` outcomes when the drain was cut short
+        (deadline, or a broker that went unreachable) — *not* journaled,
+        so ``--resume`` completes exactly the missing work.  The TCP
+        backend prefetches both record maps (collection itself can fail
+        over the network); ``None`` means fetch from the queue here.
+        """
+        if quarantined_records is None:
+            quarantined_records = queue.collect_quarantined()
+        if done_records is None:
+            done_records = dict(queue.collect_new(set()))
         applied = set()
-        for key, record in queue.collect_new(set()):
+        for key, record in done_records.items():
             indices = key_to_indices.get(key)
             if indices is None:
                 continue  # a previous sweep's job sharing this queue dir
@@ -313,10 +342,12 @@ class SharedFSBackend(ExecutionBackend):
                     batch.give_up(index)
                 poisoned_jobs += len(indices)
                 continue
-            if deadline_hit:
-                # Never claimed before the deadline: not a failure, just
-                # not attempted.  Left out of the journal so --resume
-                # runs it.
+            if deadline_hit or disconnected:
+                # Never claimed (or its record never collected): not a
+                # failure, just not attempted from the batch's point of
+                # view.  Left out of the journal so --resume runs it —
+                # and a restarted broker's ``submit`` skips keys whose
+                # done records already landed, so nothing re-executes.
                 for index in indices:
                     batch.mark_unclaimed(index)
                 unclaimed_jobs += len(indices)
@@ -329,18 +360,17 @@ class SharedFSBackend(ExecutionBackend):
                 batch.give_up(index)
         if poisoned_jobs:
             batch.degrade(
-                f"shared-fs: {poisoned_jobs} job(s) quarantined as poison "
+                f"{self.name}: {poisoned_jobs} job(s) quarantined as poison "
                 f"(forensics under {queue.quarantine_dir})"
             )
         if unclaimed_jobs:
+            cause = "the broker went unreachable" if disconnected else "deadline"
             batch.degrade(
-                f"shared-fs: deadline left {unclaimed_jobs} job(s) unclaimed; "
+                f"{self.name}: {cause} left {unclaimed_jobs} job(s) unclaimed; "
                 "re-run with --resume to complete them"
             )
         if queue.quarantined:
-            batch.degrade(f"shared-fs: {queue.quarantined} corrupt queue record(s) quarantined")
-        if owns_dir:
-            shutil.rmtree(root, ignore_errors=True)
+            batch.degrade(f"{self.name}: {queue.quarantined} corrupt queue record(s) quarantined")
 
     def _drain_participating(self, batch, queue: FileQueue, workers: int,
                              deadline_at, drain_queue) -> None:
@@ -418,6 +448,186 @@ class SharedFSBackend(ExecutionBackend):
             )
 
 
+class TCPBackend(SharedFSBackend):
+    """Drain a batch through a TCP broker — no shared filesystem needed.
+
+    The submitting process connects a
+    :class:`~repro.analysis.netqueue.NetQueue` to ``repro-sim broker``,
+    publishes the batch's jobs, optionally spawns local ``repro-sim
+    worker --broker`` subprocesses, participates in the drain itself,
+    and folds the collected done records back into the batch — the
+    same shape as :class:`SharedFSBackend`, with the queue on the far
+    side of a socket.  Remote hosts join the same drain by pointing
+    their own workers at the broker.
+
+    Failure envelope: client calls retry with capped backoff + seeded
+    jitter inside ``retry``; a broker unreachable past that budget
+    turns the drain into honest ``unclaimed`` outcomes (never
+    journaled), so ``sweep --resume`` against a restarted broker
+    completes exactly the missing work.  ``last_transport`` and
+    ``batch.report.transport`` carry the wire-health counters for
+    ``bench --sweep``.
+    """
+
+    name = "tcp"
+
+    def __init__(
+        self,
+        broker: str,
+        spawn: Optional[int] = None,
+        batch: int = 8,
+        poll: float = 0.1,
+        deadline: Optional[float] = None,
+        retry=None,
+        call_timeout: Optional[float] = None,
+    ) -> None:
+        from repro.analysis.netqueue import parse_broker_spec
+
+        super().__init__(queue_dir=None, spawn=spawn, batch=batch, poll=poll,
+                         deadline=deadline)
+        self.broker_host, self.broker_port = parse_broker_spec(broker)
+        self.retry = retry
+        self.call_timeout = call_timeout
+        self.last_transport: Dict[str, int] = {}
+
+    @property
+    def broker_spec(self) -> str:
+        return f"{self.broker_host}:{self.broker_port}"
+
+    def _spawn_worker(self, queue, index: int, batch,
+                      deadline_at: Optional[float] = None,
+                      logs_dir: Optional[Path] = None):
+        from repro.analysis.supervisor import spawn_worker
+
+        name = f"spawn{index}-{uuid.uuid4().hex[:6]}"
+        deadline_s = None
+        if deadline_at is not None:
+            deadline_s = max(0.0, deadline_at - time.monotonic())
+        store = getattr(batch, "trace_store", None)
+        return spawn_worker(
+            queue,
+            name,
+            batch=self.batch,
+            poll=self.poll,
+            retries=max(0, batch.policy.max_attempts - 1),
+            timeout=batch.policy.timeout,
+            deadline_s=deadline_s,
+            trace_store_dir=store.directory if store is not None else None,
+            broker=self.broker_spec,
+            logs_dir=logs_dir,
+        )
+
+    def execute(self, batch, pending: Sequence[int], workers: int, share_traces: bool) -> None:
+        from repro.analysis.netqueue import BrokerError, BrokerUnreachable, NetQueue
+        from repro.analysis.worker import drain_queue
+
+        if os.environ.get("REPRO_POOL_WORKER"):
+            from repro.analysis.resilience import _serial_phase
+
+            batch.degrade("tcp: nested inside a pool worker; ran serially")
+            _serial_phase(batch, pending)
+            return
+
+        queue = NetQueue(self.broker_host, self.broker_port,
+                         retry=self.retry, call_timeout=self.call_timeout)
+        # Fail fast and actionably: an unreachable or misconfigured
+        # broker surfaces here, before anything is submitted or spawned.
+        queue.hello()
+        key_to_indices: Dict[str, List[int]] = {}
+        for index in pending:
+            key_to_indices.setdefault(batch.outcome(index).key, []).append(index)
+        # One queue job per distinct key; a restarted broker's queue
+        # already holding done records for some keys skips them — that
+        # is the resume path.
+        queue.submit([batch.jobs[indices[0]] for indices in key_to_indices.values()])
+
+        deadline_at = getattr(batch, "deadline_at", None)
+        if deadline_at is None and self.deadline is not None:
+            deadline_at = time.monotonic() + self.deadline
+
+        disconnected = self._drain_tcp(batch, queue, workers, deadline_at, drain_queue)
+
+        deadline_hit = bool(
+            getattr(batch.report, "deadline_hit", False)
+            or (deadline_at is not None and time.monotonic() >= deadline_at)
+        )
+        if deadline_hit:
+            batch.report.deadline_hit = True
+
+        # Collection is itself a network op; a broker lost *after* the
+        # drain must still leave the batch in a resumable state.
+        done_records: Dict[str, Dict] = {}
+        quarantined_records: Dict[str, Dict] = {}
+        try:
+            done_records = dict(queue.collect_new(set()))
+            quarantined_records = queue.collect_quarantined()
+        except (BrokerUnreachable, BrokerError) as exc:
+            disconnected = True
+            batch.degrade(
+                f"tcp: broker unreachable while collecting results ({exc}); "
+                "uncollected jobs left for --resume"
+            )
+        self._fold_outcomes(batch, queue, key_to_indices, deadline_hit,
+                            disconnected=disconnected,
+                            done_records=done_records,
+                            quarantined_records=quarantined_records)
+        try:
+            queue.hello()  # refresh broker_restarts for the health report
+        except (BrokerUnreachable, BrokerError):
+            pass
+        self.last_transport = {
+            "reconnects": queue.reconnects,
+            "retried_calls": queue.retried_calls,
+            "replayed_ops": queue.replayed_ops,
+            "broker_restarts": queue.broker_restarts,
+        }
+        batch.report.transport = dict(self.last_transport)
+        queue.close()
+
+    def _drain_tcp(self, batch, queue, workers: int, deadline_at, drain_queue) -> bool:
+        """Spawn TCP workers, drain as the parent; True if the broker
+        went unreachable past the retry budget."""
+        from repro.analysis.netqueue import BrokerError, BrokerUnreachable
+        from repro.common.diskio import PressureGuard
+
+        spawn = self.spawn if self.spawn is not None else max(0, workers - 1)
+        logs_dir = Path(tempfile.mkdtemp(prefix="repro-net-logs-")) if spawn else None
+        procs = []
+        for i in range(spawn):
+            try:
+                procs.append(self._spawn_worker(queue, i, batch, deadline_at, logs_dir))
+            except OSError as exc:
+                batch.degrade(f"tcp: could not spawn worker {i} ({exc!r})")
+                break
+        disconnected = False
+        try:
+            stats = drain_queue(
+                queue,
+                worker="parent-" + uuid.uuid4().hex[:6],
+                batch=self.batch,
+                policy=batch.policy,
+                trace_store=batch.trace_store,
+                poll=self.poll,
+                guard=PressureGuard(queue.root, key=f"{queue.root}|parent"),
+                deadline=deadline_at,
+            )
+            self.last_parent_stats = stats.to_dict()
+            if stats.stopped == "disconnected":
+                disconnected = True
+            for event in stats.degradations:
+                batch.degrade(f"tcp: parent: {event}")
+        finally:
+            self._reap(procs)
+            try:
+                self.last_counts = queue.counts()
+                self.last_worker_stats = queue.read_stats()
+            except (BrokerUnreachable, BrokerError):
+                disconnected = True
+                self.last_counts = {}
+                self.last_worker_stats = []
+        return disconnected
+
+
 # ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
@@ -441,16 +651,52 @@ def _shared_fs_from_env() -> SharedFSBackend:
         except ValueError:
             raise ValueError(f"{env}={raw!r} is not a valid {cast.__name__}") from None
 
+    queue_dir = os.environ.get(QUEUE_DIR_ENV) or None
+    if queue_dir is not None:
+        from repro.analysis.workqueue import validate_queue_dir
+
+        queue_dir = validate_queue_dir(queue_dir, what=QUEUE_DIR_ENV)
     return SharedFSBackend(
-        queue_dir=os.environ.get(QUEUE_DIR_ENV) or None,
+        queue_dir=queue_dir,
         spawn=_num(QUEUE_WORKERS_ENV, int, None),
         lease_ttl=_num(LEASE_TTL_ENV, float, 30.0),
         batch=_num(QUEUE_BATCH_ENV, int, 8),
     )
 
 
+def _tcp_from_env() -> "TCPBackend":
+    """A :class:`TCPBackend` configured from ``REPRO_BROKER`` and friends."""
+    from repro.analysis.netqueue import BROKER_ENV, net_timeout_from_env
+
+    broker = os.environ.get(BROKER_ENV)
+    if not broker:
+        raise ValueError(
+            f"backend 'tcp' needs a broker address: set {BROKER_ENV}=HOST:PORT "
+            "(or pass --broker on the command line)"
+        )
+    spawn_raw = os.environ.get(QUEUE_WORKERS_ENV)
+    spawn = None
+    if spawn_raw:
+        try:
+            spawn = int(spawn_raw)
+        except ValueError:
+            raise ValueError(f"{QUEUE_WORKERS_ENV}={spawn_raw!r} is not a valid int") from None
+    batch_raw = os.environ.get(QUEUE_BATCH_ENV)
+    batch = 8
+    if batch_raw:
+        try:
+            batch = int(batch_raw)
+        except ValueError:
+            raise ValueError(f"{QUEUE_BATCH_ENV}={batch_raw!r} is not a valid int") from None
+    # parse_broker_spec inside TCPBackend validates the address; the
+    # timeout env is validated here too so a typo fails pre-submit.
+    net_timeout_from_env()
+    return TCPBackend(broker=broker, spawn=spawn, batch=batch)
+
+
 register_backend("pool", PoolBackend)
 register_backend("shared-fs", _shared_fs_from_env)
+register_backend("tcp", _tcp_from_env)
 
 
 def backend_names() -> List[str]:

@@ -178,6 +178,10 @@ class BatchReport:
     degradations: List[str] = field(default_factory=list)
     #: Whether a sweep deadline expired before the batch finished.
     deadline_hit: bool = False
+    #: Transport health from network-backed executions (empty for local
+    #: backends): reconnects, retried_calls, replayed_ops,
+    #: broker_restarts — filled in by the ``tcp`` backend.
+    transport: Dict[str, int] = field(default_factory=dict)
 
     @property
     def failures(self) -> List[JobOutcome]:

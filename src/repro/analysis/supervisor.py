@@ -75,23 +75,35 @@ def spawn_worker(
     deadline_s: Optional[float] = None,
     trace_store_dir: Optional[os.PathLike | str] = None,
     extra_env: Optional[Dict[str, str]] = None,
+    broker: Optional[str] = None,
+    logs_dir: Optional[os.PathLike | str] = None,
 ) -> Tuple[subprocess.Popen, IO]:
     """Launch one ``repro-sim worker`` subprocess against ``queue``.
 
-    Shared by the supervisor and :class:`SharedFSBackend` so every
+    Shared by the supervisor and the queue-backed backends so every
     spawned worker gets the same environment (PYTHONPATH threading,
     log file under the queue's ``logs/``, queue-derived lease TTL and
-    poison threshold).  Raises ``OSError`` when the host cannot spawn.
+    poison threshold).  With ``broker`` set (``HOST:PORT``), the worker
+    drains over TCP instead of the shared filesystem — ``queue`` then
+    only supplies defaults (TTL, threshold, log dir), which a
+    :class:`~repro.analysis.netqueue.NetQueue` mirrors from the
+    broker's own queue.  ``logs_dir`` overrides where the worker log
+    lands (TCP workers have no shared queue directory to log into).
+    Raises ``OSError`` when the host cannot spawn.
     """
-    cmd = [
-        sys.executable, "-m", "repro.cli", "worker",
-        "--queue-dir", str(queue.root),
+    cmd = [sys.executable, "-m", "repro.cli", "worker"]
+    if broker is not None:
+        cmd += ["--broker", str(broker)]
+    else:
+        cmd += ["--queue-dir", str(queue.root)]
+    cmd += [
         "--name", name,
         "--lease-ttl", str(queue.lease_ttl),
         "--batch", str(batch),
         "--poll", str(poll),
-        "--poison-threshold", str(queue.poison_threshold),
     ]
+    if queue.poison_threshold is not None:
+        cmd += ["--poison-threshold", str(queue.poison_threshold)]
     if retries is not None:
         cmd += ["--retries", str(retries)]
     if timeout is not None:
@@ -108,7 +120,9 @@ def spawn_worker(
     env["PYTHONPATH"] = src_root + (os.pathsep + existing if existing else "")
     if extra_env:
         env.update(extra_env)
-    log = open(queue.logs_dir / f"{name}.log", "w")
+    log_root = Path(logs_dir) if logs_dir is not None else queue.logs_dir
+    log_root.mkdir(parents=True, exist_ok=True)
+    log = open(log_root / f"{name}.log", "w")
     try:
         proc = subprocess.Popen(cmd, stdout=log, stderr=subprocess.STDOUT, env=env)
     except OSError:

@@ -52,6 +52,7 @@ import time
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.analysis.netqueue import BrokerUnreachable
 from repro.analysis.parallel import _trace_params, execute_job
 from repro.analysis.resilience import (
     DEFAULT_POLICY,
@@ -89,9 +90,22 @@ class WorkerStats:
     rest_jobs: int = 0
     idle_polls: int = 0
     drain_s: float = 0.0
-    #: Why the drain stopped early: ``"pressure"``, ``"deadline"``, or
-    #: ``None`` for a normal empty-queue (or max-jobs) exit.
+    #: Why the drain stopped early: ``"pressure"``, ``"deadline"``,
+    #: ``"heartbeat"`` (the background heartbeat thread died),
+    #: ``"disconnected"`` (a network queue's broker stayed unreachable
+    #: past the retry budget), or ``None`` for a normal empty-queue (or
+    #: max-jobs) exit.
     stopped: Optional[str] = None
+    #: The background heartbeat thread died (exception storm or a
+    #: BaseException); the drain stopped claiming rather than run on a
+    #: decaying lease.
+    heartbeat_crashed: bool = False
+    #: Transport health (zero for filesystem queues): connections
+    #: re-established, calls that needed a retry, and retried *mutating*
+    #: calls — each replayed op is a live exercise of idempotency.
+    reconnects: int = 0
+    retried_calls: int = 0
+    replayed_ops: int = 0
     #: Pressure-guard checks performed (0 when no guard was attached).
     pressure_checks: int = 0
     #: Corrupt job/done records this worker's queue instance quarantined.
@@ -112,21 +126,50 @@ class WorkerStats:
 
 
 class _Heartbeat(threading.Thread):
-    """Daemon that beats on the worker's behalf while jobs run."""
+    """Daemon that beats on the worker's behalf while jobs run.
+
+    A beat that fails is retried on the next interval; what must never
+    happen is the thread dying *silently* — a worker with a dead
+    heartbeat looks dead to its peers, keeps claiming anyway, and gets
+    stolen from mid-job.  So the thread survives any single failure,
+    trips ``crashed`` after :data:`_CRASH_AFTER` consecutive ones (a
+    beat has been missed for most of a TTL by then) or on any
+    BaseException, and the drain loop checks the flag before every
+    claim round.
+    """
+
+    #: Consecutive failed beats before the thread declares itself dead.
+    #: Three misses at TTL/4 cadence leaves one beat of margin before
+    #: peers may judge the lease stale.
+    _CRASH_AFTER = 3
 
     def __init__(self, queue: FileQueue, worker: str) -> None:
         super().__init__(daemon=True, name=f"repro-hb-{worker}")
         self._queue = queue
         self._worker = worker
         self._halt = threading.Event()
+        self.crashed = False
+        self.last_error: Optional[str] = None
+        self._consecutive_failures = 0
 
     def run(self) -> None:
-        while not self._halt.is_set():
-            try:
-                self._queue.heartbeat(self._worker, force=True)
-            except Exception:  # noqa: BLE001 - a failed beat must not kill the worker
-                pass
-            self._halt.wait(self._queue.lease_ttl * _BEAT_FRACTION)
+        try:
+            while not self._halt.is_set():
+                try:
+                    self._queue.heartbeat(self._worker, force=True)
+                except Exception as exc:  # noqa: BLE001 - survive one bad beat
+                    self._consecutive_failures += 1
+                    self.last_error = repr(exc)
+                    if self._consecutive_failures >= self._CRASH_AFTER:
+                        self.crashed = True
+                        return
+                else:
+                    self._consecutive_failures = 0
+                self._halt.wait(self._queue.lease_ttl * _BEAT_FRACTION)
+        except BaseException as exc:  # noqa: BLE001 - never die silently
+            self.last_error = repr(exc)
+            self.crashed = True
+            raise
 
     def stop(self) -> None:
         self._halt.set()
@@ -319,11 +362,24 @@ def drain_queue(
     stats = WorkerStats(worker=worker)
     started = time.monotonic()
     heartbeat = _Heartbeat(queue, worker)
-    queue.heartbeat(worker, force=True)
+    try:
+        queue.heartbeat(worker, force=True)
+    except Exception:  # noqa: BLE001 - a net queue's broker may be down now
+        pass  # the heartbeat thread keeps trying; claims surface real loss
     heartbeat.start()
     try:
         while True:
             if max_jobs is not None and stats.executed >= max_jobs:
+                break
+            if heartbeat.crashed:
+                # Claiming with a dead heartbeat invites a steal mid-job;
+                # stop cleanly with everything already published intact.
+                stats.stopped = "heartbeat"
+                stats.heartbeat_crashed = True
+                stats.degradations.append(
+                    f"heartbeat thread died ({heartbeat.last_error}); "
+                    "stopped claiming to avoid running on a decaying lease"
+                )
                 break
             if deadline is not None and time.monotonic() >= deadline:
                 stats.stopped = "deadline"
@@ -341,19 +397,29 @@ def drain_queue(
             limit = batch
             if max_jobs is not None:
                 limit = min(limit, max_jobs - stats.executed)
-            claims = queue.claim(worker, limit=limit)
-            if len(claims) < limit:
-                claims += queue.steal(worker, limit=limit - len(claims))
-            if not claims:
-                jobs_left, leases_left = queue.outstanding()
-                if jobs_left == 0 and leases_left == 0 and exit_when_empty:
-                    break
-                stats.idle_polls += 1
-                time.sleep(poll)
-                continue
-            stats.claimed += sum(1 for c in claims if not c.stolen)
-            stats.stolen += sum(1 for c in claims if c.stolen)
-            _run_claims(queue, claims, policy, trace_store, worker, stats)
+            try:
+                claims = queue.claim(worker, limit=limit)
+                if len(claims) < limit:
+                    claims += queue.steal(worker, limit=limit - len(claims))
+                if not claims:
+                    jobs_left, leases_left = queue.outstanding()
+                    if jobs_left == 0 and leases_left == 0 and exit_when_empty:
+                        break
+                    stats.idle_polls += 1
+                    time.sleep(poll)
+                    continue
+                stats.claimed += sum(1 for c in claims if not c.stolen)
+                stats.stolen += sum(1 for c in claims if c.stolen)
+                _run_claims(queue, claims, policy, trace_store, worker, stats)
+            except BrokerUnreachable as exc:
+                # The queue's own retry budget is spent: stop claiming
+                # and exit cleanly.  Completed work is already published
+                # (or will be redelivered to us on reconnect); held
+                # leases go stale and get stolen — the same recovery
+                # path as a worker death, without the death.
+                stats.stopped = "disconnected"
+                stats.degradations.append(f"broker unreachable: {exc}")
+                break
             stats.drain_s = time.monotonic() - started
             queue.write_stats(worker, stats.to_dict())
     finally:
@@ -361,5 +427,11 @@ def drain_queue(
         stats.drain_s = time.monotonic() - started
         stats.queue_quarantined = queue.quarantined
         stats.poisoned = queue.poisoned
+        stats.heartbeat_crashed = stats.heartbeat_crashed or heartbeat.crashed
+        # Transport health: duck-typed so FileQueue (no such counters)
+        # reports zeros and NetQueue reports its wire statistics.
+        stats.reconnects = getattr(queue, "reconnects", 0)
+        stats.retried_calls = getattr(queue, "retried_calls", 0)
+        stats.replayed_ops = getattr(queue, "replayed_ops", 0)
         queue.write_stats(worker, stats.to_dict())
     return stats

@@ -117,6 +117,44 @@ def new_worker_id() -> str:
     return "w" + uuid.uuid4().hex[:8]
 
 
+def validate_queue_dir(path: os.PathLike | str, what: str = "--queue-dir") -> Path:
+    """Check a queue directory is usable *before* the first claim.
+
+    A bad queue dir used to surface as a ``FileNotFoundError`` deep
+    inside the first claim round, long after the sweep was submitted.
+    This front-door check turns the three common operator mistakes —
+    a typo'd parent, a file where a directory should be, a read-only
+    mount — into one actionable :class:`ValueError` naming the flag
+    (or env var) that carried the bad value.  Returns the resolved
+    path on success; the directory itself need not exist yet (the
+    queue creates it), only a writable parent must.
+    """
+    root = Path(path)
+    if root.exists():
+        if not root.is_dir():
+            raise ValueError(
+                f"{what} {str(root)!r} exists but is not a directory"
+            )
+        if not os.access(root, os.W_OK | os.X_OK):
+            raise ValueError(
+                f"{what} {str(root)!r} is not writable; "
+                "fix permissions or point at a writable directory"
+            )
+        return root
+    parent = root.parent
+    if not parent.is_dir():
+        raise ValueError(
+            f"{what} {str(root)!r} cannot be created: parent directory "
+            f"{str(parent)!r} does not exist (typo in the path?)"
+        )
+    if not os.access(parent, os.W_OK | os.X_OK):
+        raise ValueError(
+            f"{what} {str(root)!r} cannot be created: parent directory "
+            f"{str(parent)!r} is not writable"
+        )
+    return root
+
+
 @dataclass(frozen=True)
 class Claim:
     """One leased job: what to run and which lease file proves ownership."""

@@ -10,7 +10,10 @@ Subcommands::
     repro-sim sweep --workload wave5 --what history
     repro-sim sweep --workload wave5 --what history --resume run-1a2b3c4d5e
     repro-sim sweep --workload wave5 --backend shared-fs --queue-workers 2
+    repro-sim sweep --workload wave5 --backend tcp --broker 127.0.0.1:7070
     repro-sim worker --queue-dir /shared/q0
+    repro-sim worker --broker 127.0.0.1:7070
+    repro-sim broker --queue-dir /shared/q0 --listen 127.0.0.1:7070
     repro-sim verify --workload em3d mcf --insts 12000
     repro-sim export --workload gcc --filter pa --format csv
     repro-sim bench --workload em3d --runs 5 --workers 0
@@ -29,6 +32,7 @@ quick sanity checks and for regenerating individual paper rows.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
@@ -129,7 +133,12 @@ def _sweep_backend(args: argparse.Namespace):
     """Resolve the sweep's --backend/--queue-* flags into a backend spec."""
     if args.backend == "shared-fs":
         from repro.analysis.backend import SharedFSBackend
+        from repro.analysis.workqueue import validate_queue_dir
 
+        if args.broker:
+            raise ValueError("--broker requires --backend tcp")
+        if args.queue_dir:
+            validate_queue_dir(args.queue_dir, what="--queue-dir")
         return SharedFSBackend(
             queue_dir=args.queue_dir,
             spawn=args.queue_workers,
@@ -137,11 +146,33 @@ def _sweep_backend(args: argparse.Namespace):
             supervise=args.supervised,
             poison_threshold=args.poison_threshold,
         )
+    if args.backend == "tcp":
+        from repro.analysis.backend import TCPBackend
+        from repro.analysis.netqueue import BROKER_ENV
+
+        broker = args.broker or os.environ.get(BROKER_ENV)
+        if not broker:
+            raise ValueError(
+                f"--backend tcp needs a broker address: pass --broker HOST:PORT "
+                f"or set {BROKER_ENV}"
+            )
+        if args.queue_dir or args.supervised or args.poison_threshold is not None:
+            raise ValueError(
+                "--queue-dir/--supervised/--poison-threshold belong to the "
+                "broker process, not a tcp sweep (start `repro-sim broker` "
+                "with them instead)"
+            )
+        # parse_broker_spec inside TCPBackend validates HOST:PORT early.
+        return TCPBackend(
+            broker=broker,
+            spawn=args.queue_workers,
+            batch=args.queue_batch,
+        )
     if (args.queue_dir or args.queue_workers is not None or args.supervised
-            or args.poison_threshold is not None):
+            or args.poison_threshold is not None or args.broker):
         raise ValueError(
             "--queue-dir/--queue-workers/--supervised/--poison-threshold "
-            "require --backend shared-fs"
+            "require --backend shared-fs (--broker requires --backend tcp)"
         )
     return args.backend  # "pool" resolves via the registry; None defers to env
 
@@ -234,30 +265,61 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_worker(args: argparse.Namespace) -> int:
-    """``repro-sim worker``: drain a shared-filesystem job queue.
+    """``repro-sim worker``: drain a job queue (shared directory or broker).
 
     Any number of these — on this host or on peers sharing the
     directory — cooperate through atomic-rename lease claims; a worker
     that dies mid-lease is detected by heartbeat silence and its work
-    stolen (see :mod:`repro.analysis.workqueue`).
+    stolen (see :mod:`repro.analysis.workqueue`).  With ``--broker
+    HOST:PORT`` the same protocol runs over TCP against ``repro-sim
+    broker``, for hosts that share no filesystem
+    (:mod:`repro.analysis.netqueue`); losing the broker past the retry
+    budget is a clean exit 75, so a supervisor restarts the worker
+    without charging its crash budget.
     """
     import time
 
     from repro.analysis.parallel import _mark_pool_worker
     from repro.analysis.resilience import RetryPolicy
     from repro.analysis.worker import drain_queue
-    from repro.analysis.workqueue import FileQueue, new_worker_id
+    from repro.analysis.workqueue import FileQueue, new_worker_id, validate_queue_dir
     from repro.common.diskio import PressureGuard, parse_size
     from repro.trace.store import TraceStore
 
+    if bool(args.queue_dir) == bool(args.broker):
+        raise ValueError(
+            "a worker drains exactly one queue: pass --queue-dir DIR "
+            "(shared filesystem) or --broker HOST:PORT (TCP), not both or neither"
+        )
+    name = args.name or new_worker_id()
+    if args.broker:
+        from repro.analysis.netqueue import BrokerUnreachable, NetQueue, parse_broker_spec
+
+        host, port = parse_broker_spec(args.broker)
+        queue = NetQueue(host, port)
+        try:
+            # Handshake now: a typo'd or down broker fails here with one
+            # actionable error, not deep inside the first claim — and
+            # the hello adopts the broker queue's lease TTL, which
+            # drives this worker's heartbeat cadence.
+            queue.hello()
+        except BrokerUnreachable as exc:
+            # Same backoff-friendly exit as resource pressure: the
+            # worker is fine, the world around it is not.  A supervisor
+            # respawns it without charging the crash budget.
+            print(f"worker {name}: {exc}", file=sys.stderr)
+            return 75
+    else:
+        validate_queue_dir(args.queue_dir, what="--queue-dir")
+        queue = FileQueue(
+            args.queue_dir, lease_ttl=args.lease_ttl, poison_threshold=args.poison_threshold
+        )
     # A queue worker is a leaf: anything it runs must stay serial (no
     # nested pools), and `exit` faults may hard-kill it like any pool
-    # worker.
+    # worker.  Marked only now — after validation — so a rejected
+    # invocation does not leave the process-wide marker behind when
+    # `main()` is called in-process.
     _mark_pool_worker()
-    name = args.name or new_worker_id()
-    queue = FileQueue(
-        args.queue_dir, lease_ttl=args.lease_ttl, poison_threshold=args.poison_threshold
-    )
     policy = RetryPolicy(max_attempts=max(1, args.retries + 1), timeout=args.timeout)
     store = TraceStore(args.trace_store) if args.trace_store else None
     # The guard's fault key carries the worker name, so a chaos plan can
@@ -288,10 +350,16 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     )
     for event in stats.degradations:
         print(f"  degradation: {event}", file=sys.stderr)
-    if stats.stopped == "pressure":
-        # EX_TEMPFAIL-style exit: the host, not the work, is the problem.
+    if stats.stopped in ("pressure", "disconnected", "heartbeat"):
+        # EX_TEMPFAIL-style exit: the host (or the network, or this
+        # process's own heartbeat thread), not the work, is the problem.
         # A supervisor restarts this worker without burning crash budget.
-        print(f"worker {stats.worker}: drained-and-exited on resource pressure", file=sys.stderr)
+        why = {
+            "pressure": "resource pressure",
+            "disconnected": "broker unreachable past the retry budget",
+            "heartbeat": "heartbeat thread death",
+        }[stats.stopped]
+        print(f"worker {stats.worker}: drained-and-exited on {why}", file=sys.stderr)
         return 75
     return 0 if stats.failed == 0 else 1
 
@@ -307,8 +375,9 @@ def _cmd_supervise(args: argparse.Namespace) -> int:
     :mod:`repro.analysis.supervisor`).
     """
     from repro.analysis.supervisor import FleetSupervisor
-    from repro.analysis.workqueue import FileQueue
+    from repro.analysis.workqueue import FileQueue, validate_queue_dir
 
+    validate_queue_dir(args.queue_dir, what="--queue-dir")
     queue = FileQueue(
         args.queue_dir, lease_ttl=args.lease_ttl, poison_threshold=args.poison_threshold
     )
@@ -344,6 +413,50 @@ def _cmd_supervise(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     return 0 if report.drained else 1
+
+
+def _cmd_broker(args: argparse.Namespace) -> int:
+    """``repro-sim broker``: serve a queue directory over TCP.
+
+    A thin, crash-recoverable network front: all state lives in the
+    ``--queue-dir`` :class:`~repro.analysis.workqueue.FileQueue`, so a
+    broker killed mid-sweep loses nothing — restart it on the same
+    directory (any port) and ``sweep --resume`` completes exactly the
+    missing work.  Workers on any host connect with ``repro-sim worker
+    --broker HOST:PORT``; sweeps submit with ``--backend tcp``.
+    """
+    from repro.analysis.netqueue import Broker, parse_broker_spec
+    from repro.analysis.workqueue import FileQueue, validate_queue_dir
+
+    host, port = parse_broker_spec(args.listen, what="--listen", allow_port_zero=True)
+    validate_queue_dir(args.queue_dir, what="--queue-dir")
+    queue = FileQueue(
+        args.queue_dir, lease_ttl=args.lease_ttl, poison_threshold=args.poison_threshold
+    )
+    broker = Broker(queue, host=host, port=port)
+    broker.start()
+    # The exact line test harnesses and operators parse for the bound
+    # port (`--listen host:0` picks a free one).
+    print(f"broker listening on {broker.host}:{broker.port}", flush=True)
+    if broker.restarts:
+        print(
+            f"broker: restart #{broker.restarts} on this queue dir; "
+            "resuming from the filesystem state",
+            flush=True,
+        )
+    try:
+        broker.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        broker.stop()
+        counts = queue.counts()
+        print(
+            f"broker stopped: {counts.get('done', 0)} done, "
+            f"{counts.get('jobs', 0)} waiting, {counts.get('leases', 0)} leased",
+            flush=True,
+        )
+    return 0
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -628,9 +741,10 @@ def _apply_baseline(report: dict, args: argparse.Namespace) -> int:
 def _bench_sweep(args: argparse.Namespace, lint_health: dict | None = None) -> int:
     """The ``bench --sweep`` axis: queue-backend throughput + amortization.
 
-    Times one job grid three ways — serial in-process, then through the
-    shared-FS queue backend at one and two workers — asserting along the
-    way that every drain is bit-identical to serial.  The report
+    Times one job grid four ways — serial in-process, through the
+    shared-FS queue backend at one and two workers, then through an
+    in-process TCP broker — asserting along the way that every drain is
+    bit-identical to serial.  The report
     (``BENCH_sweep.json`` by default) records jobs/sec per drain, the
     measured warm-up amortization (mean first-of-trace-group job time
     over mean rest-of-group time, from the workers' own stats files),
@@ -737,6 +851,54 @@ def _bench_sweep(args: argparse.Namespace, lint_health: dict | None = None) -> i
                 f"amortization {amortization(stats_list)})"
             )
 
+    # TCP drain: same grid through an in-process broker, so the report
+    # shows what the network hop costs relative to the shared-FS queue
+    # and records transport health (a clean bench must show zero
+    # reconnects/replays; a noisy host shows up here, not as a silent
+    # throughput dip).
+    transport_health = None
+    with tempfile.TemporaryDirectory() as scratch:
+        from repro.analysis.backend import TCPBackend
+        from repro.analysis.netqueue import Broker
+        from repro.analysis.workqueue import FileQueue
+
+        broker = Broker(FileQueue(scratch + "/queue", lease_ttl=15.0), host="127.0.0.1", port=0)
+        broker.start()
+        broker.serve_in_thread()
+        try:
+            backend = TCPBackend(
+                broker=f"127.0.0.1:{broker.port}",
+                spawn=1,
+                batch=max(2, len(jobs) // 4),
+            )
+            t0 = time.perf_counter()
+            results = run_jobs(jobs, workers=1, backend=backend)
+            seconds = time.perf_counter() - t0
+            identical = identical and fingerprints(results) == expected
+            stats_list = backend.last_worker_stats or [backend.last_parent_stats]
+            transport_health = dict(backend.last_transport)
+            drains.append(
+                {
+                    "label": "tcp[2w]",
+                    "workers": 2,
+                    "seconds": round(seconds, 3),
+                    "jobs_per_sec": round(len(jobs) / seconds, 3),
+                    "speedup_vs_serial": round(t_serial / seconds, 2),
+                    "amortization_first_vs_rest": amortization(stats_list),
+                    "trace_reuses": sum(s.get("trace_reuses", 0) for s in stats_list),
+                    "stolen": sum(s.get("stolen", 0) for s in stats_list),
+                    "transport": transport_health,
+                    "worker_stats": stats_list,
+                }
+            )
+            print(
+                f"{'tcp[2w]':13s} {len(jobs)} jobs in {seconds:.2f}s "
+                f"({t_serial / seconds:.2f}x vs serial, "
+                f"amortization {amortization(stats_list)})"
+            )
+        finally:
+            broker.stop()
+
     report = {
         "workloads": workloads,
         "filter": args.filter,
@@ -757,6 +919,13 @@ def _bench_sweep(args: argparse.Namespace, lint_health: dict | None = None) -> i
         "queue_quarantined": queue_quarantined,
         "queue_poisoned": queue_poisoned,
     }
+    if transport_health is not None:
+        # Transport health from the tcp drain: nonzero on a clean local
+        # bench means the loopback transport itself is misbehaving.
+        health["net_reconnects"] = transport_health.get("reconnects", 0)
+        health["net_retried_calls"] = transport_health.get("retried_calls", 0)
+        health["net_replayed_ops"] = transport_health.get("replayed_ops", 0)
+        health["net_broker_restarts"] = transport_health.get("broker_restarts", 0)
     if cache_stats is not None:
         health["cache_quarantined"] = cache_stats.get("quarantined", 0)
         health["cache_pressure_skipped"] = cache_stats.get("pressure_skipped", 0)
@@ -966,13 +1135,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--timeout", type=float, default=None, help="per-job wall-clock timeout in seconds"
     )
     p_swp.add_argument(
-        "--backend", choices=["pool", "shared-fs"], default=None,
+        "--backend", choices=["pool", "shared-fs", "tcp"], default=None,
         help="execution backend (default: REPRO_BACKEND env, else the in-process pool)",
     )
     p_swp.add_argument(
         "--queue-dir", default=None,
         help="shared-fs backend: queue root directory shared with external workers "
         "(default: a throwaway directory)",
+    )
+    p_swp.add_argument(
+        "--broker", default=None, metavar="HOST:PORT",
+        help="tcp backend: address of a running `repro-sim broker` "
+        "(default: REPRO_BROKER env)",
     )
     p_swp.add_argument(
         "--queue-workers", type=int, default=None,
@@ -1004,10 +1178,17 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     p_wk = sub.add_parser(
         "worker",
-        help="drain a shared-filesystem sweep queue (start any number, anywhere "
-        "the directory is visible)",
+        help="drain a sweep queue (start any number, anywhere the directory — "
+        "or the broker — is reachable)",
     )
-    p_wk.add_argument("--queue-dir", required=True, help="queue root directory")
+    p_wk.add_argument(
+        "--queue-dir", default=None,
+        help="queue root directory (shared-filesystem drain)",
+    )
+    p_wk.add_argument(
+        "--broker", default=None, metavar="HOST:PORT",
+        help="drain a `repro-sim broker` over TCP instead of a shared directory",
+    )
     p_wk.add_argument("--name", default=None, help="worker identity (default: generated)")
     p_wk.add_argument(
         "--batch", type=int, default=8,
@@ -1094,6 +1275,27 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="on-disk trace store directory handed to every worker",
     )
     p_sv.set_defaults(func=_cmd_supervise)
+
+    p_bk = sub.add_parser(
+        "broker",
+        help="serve a sweep queue over TCP: a thin, crash-recoverable network "
+        "front over a FileQueue directory (all state lives on disk)",
+    )
+    p_bk.add_argument("--queue-dir", required=True, help="queue root directory (the durable state)")
+    p_bk.add_argument(
+        "--listen", required=True, metavar="HOST:PORT",
+        help="address to listen on (port 0 picks a free port and prints it)",
+    )
+    p_bk.add_argument(
+        "--lease-ttl", type=float, default=30.0,
+        help="seconds of heartbeat silence before a worker's leases become stealable",
+    )
+    p_bk.add_argument(
+        "--poison-threshold", type=int, default=None,
+        help="max lease generation before a job that keeps killing workers is "
+        "quarantined (default: REPRO_POISON_THRESHOLD or 3)",
+    )
+    p_bk.set_defaults(func=_cmd_broker)
 
     p_vf = sub.add_parser(
         "verify",

@@ -62,6 +62,21 @@ Kinds and where they fire:
 * ``mem-pressure`` — returned to the ``pressure`` check points, which
   report resident-set pressure regardless of the real RSS (exercises
   the same drain-and-exit path for the memory side).
+* ``conn-reset`` — returned to the ``network`` site: the client drops
+  its broker connection mid-call (or the broker closes a connection
+  without replying), modelling a TCP RST; the retry/replay path must
+  reconnect and converge.
+* ``stall`` — returned to the ``network`` site: the peer goes silent
+  for ``seconds`` (a slow or congested link); per-call timeouts must
+  turn the stall into a retry, not a hang.
+* ``partial-write`` — returned to the ``network`` site: a frame is
+  truncated mid-write before the connection drops, so the reader sees
+  a short read; framing must reject the torso and the call must be
+  replayed idempotently.
+* ``partition`` — returned to the broker side of the ``network`` site:
+  the broker refuses/resets every connection for ``seconds``, modelling
+  a network partition that heals; clients must ride it out inside their
+  retry budget (or exit with the pressure-friendly code past it).
 
 Plans are ambient (``REPRO_FAULTS`` / ``REPRO_FAULT_SEED`` environment
 variables, so forked pool workers inherit them) or explicit (an
@@ -99,6 +114,10 @@ KINDS = (
     "shm-unavailable",
     "enospc",
     "mem-pressure",
+    "conn-reset",
+    "stall",
+    "partial-write",
+    "partition",
 )
 
 #: The auditable fault-site registry: every ``fault_point("<site>")``
@@ -117,6 +136,8 @@ SITES = {
     "worker-death": "a queue worker process dying mid-lease (OOM-kill, host loss)",
     "stale-lease": "a queue worker's heartbeat writes never reaching the shared FS",
     "pressure": "the host running out of free disk or resident memory mid-sweep",
+    "network": "the TCP link between a queue client and the broker misbehaving "
+               "(reset, stall, truncated frame, or a healing partition)",
 }
 
 

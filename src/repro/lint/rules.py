@@ -185,6 +185,7 @@ class PoolSafetyRule(Rule):
     _BOUNDARY_MODULES = (
         "repro.analysis.parallel",
         "repro.analysis.resilience",
+        "repro.analysis.netqueue",
     )
     _HANDLE_FACTORIES = {
         "open",

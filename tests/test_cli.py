@@ -58,10 +58,22 @@ class TestCLI:
 
         report = json.loads(out.read_text())
         assert report["results_identical"] is True
-        # quarantines are invisible in throughput numbers; the health
-        # block surfaces them even when (especially when) all zero
-        assert report["health"] == {"queue_quarantined": 0, "queue_poisoned": 0}
-        assert len(report["drains"]) == 3  # serial + shared-fs at 1 and 2 workers
+        # quarantines and wire trouble are invisible in throughput
+        # numbers; the health block surfaces them even when
+        # (especially when) all zero
+        assert report["health"] == {
+            "queue_quarantined": 0,
+            "queue_poisoned": 0,
+            "net_reconnects": 0,
+            "net_retried_calls": 0,
+            "net_replayed_ops": 0,
+            "net_broker_restarts": 0,
+        }
+        # serial + shared-fs at 1 and 2 workers + the tcp broker drain
+        assert len(report["drains"]) == 4
+        tcp = report["drains"][-1]
+        assert tcp["label"] == "tcp[2w]"
+        assert tcp["transport"]["broker_restarts"] == 0
 
     def test_bench_rejects_unknown_engine(self, capsys):
         # Validated manually (not argparse choices) so the comma-separated

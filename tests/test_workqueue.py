@@ -363,3 +363,77 @@ def test_resubmitting_a_quarantined_job_requeues_it(tmp_path):
     assert q.submit(jobs) == 1  # quarantined keys are not "known"
     (again,) = q.claim("w3", limit=1)
     assert again.key == claim.key and again.generation == 0
+
+
+# ----------------------------------------------------------------------
+# Property: many racing workers, exactly one winner per (key, generation)
+# ----------------------------------------------------------------------
+def test_many_thread_claim_race_has_exactly_one_winner_per_event(tmp_path):
+    """Eight deliberately heartbeat-less workers race claim/steal/
+    poison-sweep over one directory.  Atomic renames are the only
+    arbitration, so the invariant to break is *exclusivity*: every
+    (key, generation) pair is claimed by at most one worker, and every
+    key ends exactly once — done XOR quarantined, never both, never
+    twice, never lost.  Workers never heartbeat, so abandoned keys age
+    into steals and finally quarantine within the run.
+    """
+    import random
+    import threading
+
+    n_workers, n_jobs, threshold = 8, 24, 2
+    jobs = _jobs(n_jobs)
+    FileQueue(tmp_path / "q", lease_ttl=0.2, poison_threshold=threshold).submit(jobs)
+    events = []  # (key, generation, worker) for every successful acquisition
+    events_lock = threading.Lock()
+    stop = time.monotonic() + 6.0
+
+    def work(idx):
+        rng = random.Random(1000 + idx)  # seeded: reruns race the same way
+        q = FileQueue(tmp_path / "q", lease_ttl=0.2, poison_threshold=threshold)
+        me = f"w{idx}"
+        while time.monotonic() < stop:
+            got = q.claim(me, limit=rng.randint(1, 3)) if rng.random() < 0.5 else []
+            got += q.steal(me, limit=rng.randint(1, 3))
+            with events_lock:
+                events.extend((c.key, c.generation, me) for c in got)
+            for claim in got:
+                # finish some, abandon the rest without ever heartbeating
+                if rng.random() < 0.5:
+                    q.complete(claim, {"ok": True, "result": {}, "attempts": []})
+            if rng.random() < 0.2:
+                q.poison_sweep()
+            time.sleep(rng.uniform(0.0, 0.05))
+        counts = q.counts()
+        if counts["jobs"] or counts["leases"]:
+            return  # someone else may still retire the stragglers
+
+    threads = [threading.Thread(target=work, args=(i,)) for i in range(n_workers)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    # exclusivity: no (key, generation) was ever handed to two workers
+    pairs = [(k, g) for k, g, _ in events]
+    assert len(pairs) == len(set(pairs)), "a lease generation was double-claimed"
+
+    # completeness: every key ended exactly once, done XOR quarantined
+    q = FileQueue(tmp_path / "q", lease_ttl=0.2, poison_threshold=threshold)
+    # ample idle time has passed for any survivor lease to be stale
+    time.sleep(0.25)
+    q.steal("sweeper", limit=n_jobs)  # start the sweeper's staleness clock
+    deadline = time.monotonic() + 8.0
+    while time.monotonic() < deadline:
+        for claim in q.claim("sweeper", limit=n_jobs) + q.steal("sweeper", limit=n_jobs):
+            q.complete(claim, {"ok": True, "result": {}, "attempts": []})
+        q.poison_sweep()
+        if q.outstanding() == (0, 0):
+            break
+        time.sleep(0.1)
+    counts = q.counts()
+    assert q.outstanding() == (0, 0)
+    done = {p.stem for p in q.done_dir.glob("*.json")}
+    quarantined = set(q.collect_quarantined())
+    assert not (done & quarantined), "a key is both done and quarantined"
+    assert done | quarantined == {j.key() for j in jobs}
+    assert counts["done"] + counts["poisoned"] == n_jobs
