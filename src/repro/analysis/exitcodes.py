@@ -1,0 +1,75 @@
+"""Central registry of distributed-layer process exit codes.
+
+A worker's exit code is a one-byte protocol between three parties that
+share no memory: the ``repro-sim worker`` process that dies, the
+:class:`~repro.analysis.supervisor.FleetSupervisor` that triages the
+death, and the chaos harness that injects it.  PRs 7-9 grew that
+protocol as scattered integer literals (``return 75`` here,
+``os._exit(70)`` there), which is exactly how one side drifts: a new
+exit code added to the worker is a crash to a supervisor that never
+heard of it.  This module is the single registry both sides import;
+lint rule RL008 enforces it in both directions — every ``sys.exit`` /
+``os._exit`` literal in the distributed layer must resolve to a
+constant defined here, and the supervisor's triage must explicitly
+handle every code the registry says deserves more than the generic
+crash branch.
+
+The values follow ``sysexits.h`` where a precedent exists:
+
+* :data:`EXIT_PRESSURE` mirrors ``EX_TEMPFAIL`` (75): the worker is
+  fine, the world around it (disk, memory, network) is not — respawn
+  on the base backoff without charging the crash budget.
+* :data:`EXIT_CHAOS_DEATH` mirrors ``EX_SOFTWARE`` (70): the fault
+  harness's injected hard death, indistinguishable from a real crash
+  by design (the supervisor must treat it as one).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: Clean exit: the queue drained (or the drain hit its max-jobs bound)
+#: with no failed jobs.
+EXIT_OK = 0
+
+#: The drain finished but at least one job exhausted its retry budget.
+EXIT_JOBS_FAILED = 1
+
+#: User error (bad flag value, invalid config): one actionable message,
+#: nothing to respawn.  Matches the argparse convention.
+EXIT_USAGE = 2
+
+#: Injected hard worker death (``exit`` fault kind, ``os._exit``);
+#: mirrors BSD ``EX_SOFTWARE``.  Deliberately *not* special-cased by
+#: the supervisor: a chaos death must exercise the real crash path.
+EXIT_CHAOS_DEATH = 70
+
+#: Clean drain-and-exit under resource pressure, a dead heartbeat
+#: thread, or a broker unreachable past the retry budget; mirrors BSD
+#: ``EX_TEMPFAIL`` (try again later).
+EXIT_PRESSURE = 75
+
+#: Every registered code with a one-line description.  The dict keys
+#: are the named constants above (never bare literals) so the lint
+#: extractor resolves names and values together.
+CODES: Dict[int, str] = {
+    EXIT_OK: "clean drain: queue empty (or max-jobs reached), no failures",
+    EXIT_JOBS_FAILED: "drain finished with at least one exhausted job",
+    EXIT_USAGE: "user error: invalid flag value or configuration",
+    EXIT_CHAOS_DEATH: "injected hard worker death (chaos 'exit' fault)",
+    EXIT_PRESSURE: "temporary-failure exit: pressure, heartbeat death, or lost broker",
+}
+
+#: Codes the supervisor must triage *explicitly* — by comparing against
+#: the named constant, not via the generic crash branch.  RL008 fails
+#: when the supervisor module stops referencing one of these, and when
+#: a supervisor comparison uses a code not registered in :data:`CODES`.
+SUPERVISED: Dict[int, str] = {
+    EXIT_OK: "retire on a drained queue; respawn when work remains",
+    EXIT_PRESSURE: "respawn on base backoff without charging the crash budget",
+}
+
+
+def describe(code: int) -> str:
+    """Human-readable name for an exit code (generic for unregistered)."""
+    return CODES.get(code, f"unregistered exit code {code} (treated as a crash)")

@@ -89,6 +89,35 @@ NET_RETRY = RetryPolicy(
 #: report how often idempotency was actually leaned on).
 _MUTATING = frozenset({"submit", "complete", "release", "write-stats"})
 
+#: The idempotency manifest: every op the client may execute under the
+#: retry wrapper in :meth:`NetQueue._call`.  An op is listed only after
+#: its replay-after-partial-effect story has been audited (submit keys
+#: by job key, complete/release check the lease generation, write-stats
+#: last-writer-wins; the rest are reads).  Lint rule RL010 enforces the
+#: manifest in both directions: a ``_call`` on an undeclared op fails
+#: the build, and a declared op no actual call site uses is flagged as
+#: stale.  Application errors (``ok: false``) are *never* retried —
+#: they raise :class:`BrokerError` before the loop can come around.
+IDEMPOTENT_OPS = frozenset(
+    {
+        "hello",
+        "submit",
+        "heartbeat",
+        "claim",
+        "steal",
+        "complete",
+        "release",
+        "outstanding",
+        "counts",
+        "is-done",
+        "collect-done",
+        "collect-quarantined",
+        "poison-sweep",
+        "write-stats",
+        "read-stats",
+    }
+)
+
 _LENGTH = struct.Struct(">I")
 
 #: Frame cap: far above any real batch (a 10^5-job submit ships in

@@ -29,7 +29,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional
 
 from repro.common.config import SimulationConfig
-from repro.common.diskio import PressureGuard, sweep_stale_tmp, tmp_path_for
+from repro.common.diskio import PressureGuard, atomic_write_json, sweep_stale_tmp
 from repro.common.faults import fault_point
 from repro.common.stats import Stats
 from repro.core.classifier import PrefetchTally
@@ -308,24 +308,23 @@ class ResultCache:
             return
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self._path(key)
-        tmp = tmp_path_for(path)
         data = result_to_dict(result)
         data[DIGEST_KEY] = payload_digest(data)
         try:
-            with open(tmp, "w") as fh:
-                json.dump(data, fh)
-            os.replace(tmp, path)  # atomic: readers never see partial files
+            atomic_write_json(path, data)  # readers never see partial files
             spec = fault_point("cache", key=key)
             if spec is not None and spec.kind in ("corrupt-cache", "corrupt-artifact"):
                 if spec.kind == "corrupt-cache":
-                    path.write_text("\x00 injected corruption")
+                    # A deliberately torn write: the fault models exactly
+                    # the bytes the sealed-write helpers exist to prevent.
+                    path.write_text("\x00 injected corruption")  # repro-lint: disable=RL007
                 else:
                     # Valid JSON, wrong bytes: only the digest check can
                     # tell this apart from a genuine result.
                     data["instructions"] = int(data.get("instructions", 0)) + 1
-                    path.write_text(json.dumps(data))
+                    path.write_text(json.dumps(data))  # repro-lint: disable=RL007
         except OSError:
-            tmp.unlink(missing_ok=True)
+            pass  # a lost memo write is a future miss, not an error
         self._enforce_budget()
 
     def _enforce_budget(self) -> int:
@@ -346,7 +345,10 @@ class ResultCache:
         except ImportError:  # pragma: no cover - non-Unix fallback
             fcntl = None
         try:
-            lock = open(self.directory / ".evict.lock", "w")
+            # Append mode: creates the lock file without truncating and
+            # carries no record contents, so it stays outside the
+            # sealed-write (RL007) contract that "w" writes opt into.
+            lock = open(self.directory / ".evict.lock", "a")
         except OSError:
             return 0
         try:

@@ -55,11 +55,14 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import IO, Dict, List, Optional, Tuple
 
+from repro.analysis.exitcodes import EXIT_OK, EXIT_PRESSURE, describe
 from repro.analysis.workqueue import FileQueue
 
 #: ``repro-sim worker`` exit code for a clean drain-and-exit under
 #: resource pressure (mirrors BSD's ``EX_TEMPFAIL``: try again later).
-WORKER_EXIT_PRESSURE = 75
+#: Kept as a module-level alias of the registry constant so existing
+#: importers keep working; RL008 resolves the alias to the registry.
+WORKER_EXIT_PRESSURE = EXIT_PRESSURE
 
 #: Respawns allowed per slot before it is retired.
 DEFAULT_MAX_RESTARTS = 10
@@ -290,7 +293,7 @@ class FleetSupervisor:
             report.pressure_restarts += 1
             backoff = self.backoff_base
             reason = "pressure exit"
-        elif code == 0:
+        elif code == EXIT_OK:
             slot.consecutive_crashes = 0
             backoff = self.backoff_base
             reason = "clean exit with work remaining"
@@ -302,7 +305,7 @@ class FleetSupervisor:
                 self.backoff_base
                 * self.backoff_factor ** (slot.consecutive_crashes - 1),
             )
-            reason = f"crash (exit {code})"
+            reason = f"crash (exit {code}: {describe(code)})"
         report.restarts += 1
         slot.next_spawn_at = now + backoff
         report.events.append(

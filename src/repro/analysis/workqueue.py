@@ -86,6 +86,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 from repro.analysis.checkpoint import record_intact, seal_record
 from repro.analysis.parallel import SimulationJob, job_from_dict, job_to_dict
 from repro.analysis.resilience import job_token
+from repro.common.diskio import atomic_write_json
 
 #: Fraction of the lease TTL between heartbeat writes.  Four beats per
 #: TTL keeps a live owner comfortably ahead of any thief's staleness
@@ -168,19 +169,10 @@ class Claim:
 
 
 def _atomic_write_json(path: Path, payload: Dict) -> None:
-    from repro.common.diskio import tmp_path_for
-
-    tmp = tmp_path_for(path)
-    try:
-        with open(tmp, "w") as fh:
-            json.dump(payload, fh)
-        os.replace(tmp, path)
-    except OSError:
-        try:
-            tmp.unlink(missing_ok=True)
-        except OSError:
-            pass
-        raise
+    # Thin alias kept for the existing call sites (and netqueue's broker
+    # state); the sealed-write implementation lives in repro.common.diskio
+    # so every persistence module shares one audited path (RL007).
+    atomic_write_json(path, payload)
 
 
 def _load_json(path: Path) -> Optional[Dict]:

@@ -279,6 +279,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     """
     import time
 
+    from repro.analysis.exitcodes import EXIT_JOBS_FAILED, EXIT_OK, EXIT_PRESSURE
     from repro.analysis.parallel import _mark_pool_worker
     from repro.analysis.resilience import RetryPolicy
     from repro.analysis.worker import drain_queue
@@ -308,7 +309,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
             # worker is fine, the world around it is not.  A supervisor
             # respawns it without charging the crash budget.
             print(f"worker {name}: {exc}", file=sys.stderr)
-            return 75
+            return EXIT_PRESSURE
     else:
         validate_queue_dir(args.queue_dir, what="--queue-dir")
         queue = FileQueue(
@@ -360,8 +361,8 @@ def _cmd_worker(args: argparse.Namespace) -> int:
             "heartbeat": "heartbeat thread death",
         }[stats.stopped]
         print(f"worker {stats.worker}: drained-and-exited on {why}", file=sys.stderr)
-        return 75
-    return 0 if stats.failed == 0 else 1
+        return EXIT_PRESSURE
+    return EXIT_OK if stats.failed == 0 else EXIT_JOBS_FAILED
 
 
 def _cmd_supervise(args: argparse.Namespace) -> int:
@@ -1375,7 +1376,7 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     p_ln = sub.add_parser(
         "lint",
-        help="AST-based simulator-invariant static analyzer (RL001-RL006)",
+        help="AST-based simulator-invariant static analyzer (RL001-RL012)",
         add_help=False,
     )
     p_ln.add_argument(
@@ -1388,10 +1389,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     try:
         return args.func(args)
     except ValueError as exc:
+        from repro.analysis.exitcodes import EXIT_USAGE
+
         # Config/trace validation errors are user errors, not crashes:
         # one actionable line, distinct exit code.
         print(f"configuration error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
 
 
 if __name__ == "__main__":

@@ -1,9 +1,16 @@
 """Shared atomic-write plumbing for the on-disk stores.
 
-Both content-addressed stores (:mod:`repro.analysis.result_cache` and
-:mod:`repro.trace.store`) write through a sibling temp file and
-``os.replace`` so readers never observe a partial entry.  The helpers
-here cover the two failure modes that convention leaves open:
+Every durable record in the distributed layer — content-addressed store
+entries (:mod:`repro.analysis.result_cache`, :mod:`repro.trace.store`),
+queue job/lease/done/heartbeat files (:mod:`repro.analysis.workqueue`),
+and broker state (:mod:`repro.analysis.netqueue`) — is written through a
+sibling temp file and ``os.replace`` so readers never observe a partial
+entry.  :func:`atomic_write_json` and :func:`atomic_write_bytes` are the
+*only* sanctioned ways to land such a record; lint rule RL007 rejects a
+bare ``open(path, "w")`` in any persistence module, because one torn
+write in a queue directory is a corrupt lease some worker will trust.
+The helpers here also cover the two failure modes that the
+temp-and-replace convention leaves open on its own:
 
 * **Same-process collisions** — two threads share a PID, so a
   ``.tmp.<pid>`` suffix alone lets them clobber each other's in-flight
@@ -24,12 +31,13 @@ content-addressed stores all judge pressure the same way.
 from __future__ import annotations
 
 import itertools
+import json
 import os
 import shutil
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional
+from typing import Any, Dict, Optional
 
 #: Temp files older than this are presumed orphaned by a killed writer.
 STALE_TMP_SECONDS = 3600.0
@@ -63,6 +71,38 @@ def sweep_stale_tmp(directory: Path, max_age: float = STALE_TMP_SECONDS) -> int:
     except OSError:
         pass
     return removed
+
+
+# --------------------------------------------------------------------------
+# Sealed record writes (the RL007 contract)
+# --------------------------------------------------------------------------
+
+def atomic_write_bytes(path: Path, blob: bytes) -> None:
+    """Land ``blob`` at ``path`` atomically: temp sibling, then replace.
+
+    A reader racing this call sees either the old file or the complete
+    new one, never a torso.  On any ``OSError`` the temp file is cleaned
+    up best-effort and the error re-raised — the caller decides whether
+    a lost write is fatal (a queue record) or shrug-worthy (a cache
+    memo).
+    """
+    tmp = tmp_path_for(path)
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(blob)
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            tmp.unlink(missing_ok=True)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(path: Path, payload: Dict[str, Any]) -> None:
+    """Serialise ``payload`` and land it atomically (see
+    :func:`atomic_write_bytes` for the failure contract)."""
+    atomic_write_bytes(path, json.dumps(payload).encode())
 
 
 # --------------------------------------------------------------------------

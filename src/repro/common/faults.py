@@ -246,7 +246,11 @@ class FaultInjector:
             return spec
         if spec.kind == "exit":
             if os.environ.get(_POOL_WORKER_ENV):
-                os._exit(70)  # hard worker death: breaks the process pool
+                # Imported lazily: repro.common must not pull the analysis
+                # layer in at module load (faults is imported everywhere).
+                from repro.analysis.exitcodes import EXIT_CHAOS_DEATH
+
+                os._exit(EXIT_CHAOS_DEATH)  # hard worker death: breaks the process pool
             raise FaultInjected(
                 f"injected exit outside a pool worker at {site} (key={key!r})"
             )

@@ -1,12 +1,19 @@
 """``repro.lint`` — AST-based static analysis for simulator invariants.
 
-The runtime layers added across PRs 1-4 (result cache, process-pool
-fan-out, batched stats, fault injection, runtime sanitizer) each rest on
+The runtime layers grown across the PR sequence (result cache,
+process-pool fan-out, batched stats, fault injection, runtime
+sanitizer, then the queue/worker/broker distributed layer) each rest on
 a cross-cutting contract that is cheap to break in review and expensive
 to debug in a sweep.  This package checks those contracts *statically*:
 it parses the tree under ``src/repro`` with :mod:`ast` — no repository
 code is imported or executed — and reports findings with stable
 fingerprints that a committed baseline can grandfather.
+
+The first six rules (:mod:`repro.lint.rules`) are per-module checks of
+the simulation core; RL007-RL012 (:mod:`repro.lint.rules_dist`) are
+*interprocedural* checks of the distributed protocol, built on the
+constant-propagation / import-graph / wire-extraction infrastructure in
+:mod:`repro.lint.flow`.
 
 Rules (see ``docs/architecture.md`` for the contributor table):
 
@@ -17,6 +24,12 @@ RL003     stat-flush discipline (batched ``_n_*`` counters fold+zero)
 RL004     fault-site registry (registered, documented, tested sites)
 RL005     config/CLI coverage (no dead knobs, no dead flags)
 RL006     sanitizer wiring (every ``validate()`` reachable from the walk)
+RL007     atomic persistence (sealed writes only in persistence modules)
+RL008     exit-code registry (named codes; supervisor triages them all)
+RL009     wire-protocol parity (client ops == broker dispatch, field sets)
+RL010     retry idempotency (manifest-audited replays; app errors raise)
+RL011     fault-site symmetry (two-sided sites injectable + tested per side)
+RL012     handle lifecycle (boundary handles released and pickle-shed)
 ========  ==========================================================
 
 Entry points: ``repro-sim lint`` and ``python -m repro.lint``; both
@@ -134,7 +147,7 @@ def _list_rules() -> str:
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-sim lint",
-        description="AST-based simulator-invariant static analyzer (RL001-RL006)",
+        description="AST-based simulator-invariant static analyzer (RL001-RL012)",
     )
     parser.add_argument(
         "--root",

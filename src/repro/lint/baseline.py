@@ -63,11 +63,14 @@ def load_baseline(path: Path) -> List[BaselineEntry]:
 
 
 def save_baseline(path: Path, entries: Sequence[BaselineEntry]) -> None:
+    """Write the baseline deterministically: entries sorted by
+    fingerprint, object keys sorted, trailing newline — so two rewrites
+    of the same state are byte-identical and diff review stays quiet."""
     payload = {
         "version": BASELINE_VERSION,
         "entries": [e.as_dict() for e in sorted(entries, key=lambda e: e.fingerprint)],
     }
-    path.write_text(json.dumps(payload, indent=1) + "\n")
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
 
 
 def apply_baseline(

@@ -208,8 +208,9 @@ def register(cls: Type[Rule]) -> Type[Rule]:
 
 
 def all_rules() -> Dict[str, Type[Rule]]:
-    # Importing the rules module populates the registry on first use.
+    # Importing the rules modules populates the registry on first use.
     from repro.lint import rules as _rules  # noqa: F401
+    from repro.lint import rules_dist as _rules_dist  # noqa: F401
 
     return dict(_REGISTRY)
 

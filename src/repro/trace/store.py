@@ -45,7 +45,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.common.diskio import PressureGuard, sweep_stale_tmp, tmp_path_for
+from repro.common.diskio import PressureGuard, atomic_write_bytes, sweep_stale_tmp
 from repro.common.faults import fault_point
 from repro.trace.stream import Trace
 
@@ -175,7 +175,6 @@ class TraceStore:
             return
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self._path(key)
-        tmp = tmp_path_for(path)
         try:
             digest = trace_digest(trace)
             spec = fault_point("cache", key=key)
@@ -197,16 +196,13 @@ class TraceStore:
                 name=np.asarray(trace.name),
                 digest=np.asarray(digest),
             )
-            with open(tmp, "wb") as fh:
-                fh.write(buf.getvalue())
-            os.replace(tmp, path)  # atomic: readers never see partial files
+            atomic_write_bytes(path, buf.getvalue())
             if spec is not None and spec.kind == "corrupt-cache":
-                path.write_bytes(b"\x00 injected corruption")
+                # Deliberately torn bytes: the fault models exactly what
+                # the sealed-write helper exists to prevent.
+                path.write_bytes(b"\x00 injected corruption")  # repro-lint: disable=RL007
         except OSError:
-            try:
-                tmp.unlink(missing_ok=True)
-            except OSError:
-                pass
+            pass  # a lost memo write is a future miss, not an error
 
     def get_or_build(
         self,

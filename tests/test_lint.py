@@ -69,8 +69,11 @@ def symbols(findings: list) -> set:
 # ----------------------------------------------------------------------
 # Framework basics
 # ----------------------------------------------------------------------
-def test_registry_has_all_six_rules():
-    assert set(all_rules()) == {"RL001", "RL002", "RL003", "RL004", "RL005", "RL006"}
+def test_registry_has_all_twelve_rules():
+    assert set(all_rules()) == {
+        "RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
+        "RL007", "RL008", "RL009", "RL010", "RL011", "RL012",
+    }
 
 
 def test_unknown_rule_id_rejected(tmp_path):
@@ -528,6 +531,39 @@ def test_baseline_rejects_wrong_version(tmp_path):
         load_baseline(path)
 
 
+def test_save_baseline_is_deterministic(tmp_path):
+    """Two writes of the same state are byte-identical: entries sorted
+    by fingerprint, object keys sorted, trailing newline."""
+    a, b = tmp_path / "a.json", tmp_path / "b.json"
+    entries = [
+        BaselineEntry("RL002:src/repro/b.py:sym", "later entry"),
+        BaselineEntry("RL001:src/repro/a.py:sym", "earlier entry"),
+    ]
+    save_baseline(a, entries)
+    save_baseline(b, list(reversed(entries)))
+    assert a.read_bytes() == b.read_bytes()
+    text = a.read_text()
+    assert text.endswith("\n")
+    fps = [e["fingerprint"] for e in json.loads(text)["entries"]]
+    assert fps == sorted(fps)
+    # Object keys are emitted in sorted order, not insertion order.
+    assert text.index('"entries"') < text.index('"version"')
+
+
+def test_update_baseline_prunes_entries_for_deleted_files(tmp_path):
+    """An entry whose file was deleted matches no finding any more; an
+    --update-baseline rewrite must drop it, not carry it forever."""
+    root, findings = _one_finding(tmp_path)
+    ghost = BaselineEntry(
+        "RL001:src/repro/core/deleted.py:import.time", "file since removed"
+    )
+    live = BaselineEntry(findings[0].fingerprint, "real debt")
+    entries, added, removed = updated_entries(findings, [ghost, live])
+    assert (added, removed) == (0, 1)
+    assert [e.fingerprint for e in entries] == [live.fingerprint]
+    assert entries[0].reason == "real debt"
+
+
 # ----------------------------------------------------------------------
 # CLI driver (shared by repro-sim lint and python -m repro.lint)
 # ----------------------------------------------------------------------
@@ -571,7 +607,10 @@ def test_main_json_output(tmp_path, capsys):
 def test_main_list_rules(capsys):
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
+    for rule_id in (
+        "RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
+        "RL007", "RL008", "RL009", "RL010", "RL011", "RL012",
+    ):
         assert rule_id in out
 
 

@@ -1,0 +1,665 @@
+"""Tests for the distributed-protocol lint rules (RL007-RL012).
+
+Mirrors the structure of ``tests/test_lint.py``: fixture trees written
+into ``tmp_path`` exercise each rule's positive, negative and
+pragma-suppressed cases without depending on the live tree, and a small
+self-check section asserts the interprocedural extractors agree with
+the committed transport.  The scaffold here extends the base one with a
+minimal-but-consistent distributed layer (exit-code registry,
+supervisor triage, matched client/broker pair), so a fixture can break
+exactly one contract at a time.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.lint.core import load_project, run_rules
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+# ----------------------------------------------------------------------
+# Fixture-tree plumbing
+# ----------------------------------------------------------------------
+#: A consistent distributed layer: every RL007-RL012 contract holds, so
+#: each test overrides exactly the file(s) whose contract it breaks.
+_SCAFFOLD = {
+    "src/repro/__init__.py": "",
+    "src/repro/core/__init__.py": "",
+    "src/repro/core/simulator.py": "def shutdown(group):\n    group.detach_flush()\n",
+    "src/repro/common/__init__.py": "",
+    "src/repro/common/faults.py": "SITES = {}\n",
+    "src/repro/sanitize/__init__.py": "CHECK_WALK = {}\n",
+    "src/repro/analysis/__init__.py": "",
+    "src/repro/analysis/exitcodes.py": """\
+        EXIT_OK = 0
+        EXIT_PRESSURE = 75
+        CODES = {EXIT_OK: "clean", EXIT_PRESSURE: "temp failure"}
+        SUPERVISED = {EXIT_PRESSURE: "respawn without crash charge"}
+        """,
+    "src/repro/analysis/supervisor.py": """\
+        from repro.analysis.exitcodes import EXIT_PRESSURE
+
+        def triage(code):
+            if code == EXIT_PRESSURE:
+                return "pressure"
+            return "crash"
+        """,
+    "src/repro/analysis/netqueue.py": """\
+        IDEMPOTENT_OPS = frozenset({"ping", "fetch"})
+
+        class BrokerError(RuntimeError):
+            pass
+
+        class NetQueue:
+            def _call(self, op, payload=None):
+                for attempt in range(3):
+                    try:
+                        response = self._roundtrip(op, payload or {})
+                    except (OSError, ValueError):
+                        continue
+                    if not response.get("ok", False):
+                        raise BrokerError(op)
+                    return response
+
+            def ping(self):
+                return self._call("ping", {"worker": "w"})
+
+            def fetch(self):
+                return self._call("fetch", {"key": "k"})
+
+        class Broker:
+            def _dispatch(self, request):
+                op = request.get("op")
+                if op == "ping":
+                    return {"ok": True, "worker": request["worker"]}
+                if op == "fetch":
+                    return self._fetch(request)
+                return {"ok": False, "error": "unknown op"}
+
+            def _fetch(self, request):
+                return {"ok": True, "key": request["key"], "x": request.get("extra")}
+        """,
+}
+
+
+def make_tree(tmp_path: Path, files: dict) -> Path:
+    for rel, text in {**_SCAFFOLD, **files}.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(text))
+    return tmp_path
+
+
+def findings_for(tmp_path: Path, files: dict, rule: str) -> list:
+    project = load_project(make_tree(tmp_path, files))
+    return run_rules(project, [rule])
+
+
+def symbols(findings: list) -> set:
+    return {f.symbol for f in findings}
+
+
+def test_scaffold_is_clean_for_every_dist_rule(tmp_path):
+    project = load_project(make_tree(tmp_path, {}))
+    found = run_rules(
+        project, ["RL007", "RL008", "RL009", "RL010", "RL011", "RL012"]
+    )
+    assert found == [], [f.render() for f in found]
+
+
+# ----------------------------------------------------------------------
+# RL007 — atomic persistence
+# ----------------------------------------------------------------------
+def test_rl007_flags_truncate_writes_in_persistence_modules(tmp_path):
+    files = {
+        "src/repro/analysis/workqueue.py": """\
+            def save(path, blob):
+                with open(path, "w") as fh:
+                    fh.write(blob)
+
+            def memo(path, blob):
+                path.write_text(blob)
+            """,
+    }
+    syms = symbols(findings_for(tmp_path, files, "RL007"))
+    assert "save:open-w" in syms
+    assert "memo:write_text" in syms
+
+
+def test_rl007_flags_keyword_mode_and_write_bytes(tmp_path):
+    files = {
+        "src/repro/trace/__init__.py": "",
+        "src/repro/trace/store.py": """\
+            def put(path, blob):
+                fh = open(path, mode="wb")
+                fh.write(blob)
+                fh.close()
+
+            def corrupt(path):
+                path.write_bytes(b"x")
+            """,
+    }
+    syms = symbols(findings_for(tmp_path, files, "RL007"))
+    assert "put:open-wb" in syms
+    assert "corrupt:write_bytes" in syms
+
+
+def test_rl007_allows_append_read_and_sealed_helpers(tmp_path):
+    files = {
+        "src/repro/analysis/checkpoint.py": """\
+            from repro.common.diskio import atomic_write_json
+
+            def journal(path, line):
+                with open(path, "a") as fh:
+                    fh.write(line)
+
+            def head(path, payload):
+                atomic_write_json(path, payload)
+
+            def load(path):
+                with open(path) as fh:
+                    return fh.read()
+            """,
+    }
+    assert findings_for(tmp_path, files, "RL007") == []
+
+
+def test_rl007_ignores_non_persistence_modules(tmp_path):
+    files = {
+        "src/repro/analysis/report.py": 'def dump(p, s):\n    open(p, "w").write(s)\n',
+    }
+    assert findings_for(tmp_path, files, "RL007") == []
+
+
+def test_rl007_line_pragma_suppresses(tmp_path):
+    files = {
+        "src/repro/analysis/result_cache.py": (
+            "def chaos(path):\n"
+            '    path.write_text("torn")  # repro-lint: disable=RL007\n'
+        ),
+    }
+    assert findings_for(tmp_path, files, "RL007") == []
+
+
+# ----------------------------------------------------------------------
+# RL008 — exit-code registry
+# ----------------------------------------------------------------------
+def test_rl008_flags_bare_exit_literals_and_returns(tmp_path):
+    files = {
+        "src/repro/analysis/worker.py": """\
+            import os
+            import sys
+
+            def die():
+                sys.exit(75)
+
+            def die_hard():
+                os._exit(70)
+
+            def run():
+                return 75
+            """,
+    }
+    syms = symbols(findings_for(tmp_path, files, "RL008"))
+    assert "die:sys.exit-literal" in syms
+    assert "die_hard:os._exit-literal" in syms
+    assert "run:return-75" in syms
+
+
+def test_rl008_zero_and_one_returns_are_conventional(tmp_path):
+    files = {
+        "src/repro/analysis/worker.py": """\
+            def run(failed):
+                return 1 if failed else 0
+            """,
+    }
+    assert findings_for(tmp_path, files, "RL008") == []
+
+
+def test_rl008_resolves_aliases_to_unregistered_codes(tmp_path):
+    files = {
+        "src/repro/analysis/worker.py": """\
+            import sys
+
+            MY_EXIT = 99
+
+            def die():
+                sys.exit(MY_EXIT)
+            """,
+    }
+    syms = symbols(findings_for(tmp_path, files, "RL008"))
+    assert "die:sys.exit-unregistered" in syms
+
+
+def test_rl008_registered_constant_through_lazy_import_passes(tmp_path):
+    files = {
+        "src/repro/analysis/worker.py": """\
+            import sys
+
+            def die():
+                from repro.analysis.exitcodes import EXIT_PRESSURE
+
+                sys.exit(EXIT_PRESSURE)
+            """,
+    }
+    assert findings_for(tmp_path, files, "RL008") == []
+
+
+def test_rl008_flags_supervisor_ignoring_a_supervised_code(tmp_path):
+    files = {
+        "src/repro/analysis/supervisor.py": """\
+            import repro.analysis.exitcodes
+
+            def triage(code):
+                return "crash"
+            """,
+    }
+    syms = symbols(findings_for(tmp_path, files, "RL008"))
+    assert "supervised:EXIT_PRESSURE:unhandled" in syms
+
+
+def test_rl008_flags_triage_against_unregistered_code(tmp_path):
+    files = {
+        "src/repro/analysis/supervisor.py": """\
+            from repro.analysis.exitcodes import EXIT_PRESSURE
+
+            def triage(code):
+                if code == EXIT_PRESSURE:
+                    return "pressure"
+                if code == 99:
+                    return "mystery"
+                return "crash"
+            """,
+    }
+    syms = symbols(findings_for(tmp_path, files, "RL008"))
+    assert "triage:triage-99" in syms
+
+
+def test_rl008_flags_supervisor_without_registry_import(tmp_path):
+    files = {
+        "src/repro/analysis/supervisor.py": """\
+            def triage(code):
+                if code == 75:
+                    return "pressure"
+                return "crash"
+            """,
+    }
+    syms = symbols(findings_for(tmp_path, files, "RL008"))
+    assert "repro.analysis.supervisor:no-registry-import" in syms
+
+
+def test_rl008_missing_registry_is_a_finding(tmp_path):
+    files = {
+        "src/repro/analysis/exitcodes.py": "ENABLED = True\n",
+    }
+    assert "CODES:missing" in symbols(findings_for(tmp_path, files, "RL008"))
+
+
+# ----------------------------------------------------------------------
+# RL009 — wire-protocol parity
+# ----------------------------------------------------------------------
+def _netqueue(client_extra: str = "", dispatch_extra: str = "") -> dict:
+    """The scaffold transport with lines spliced into each side."""
+    text = textwrap.dedent(_SCAFFOLD["src/repro/analysis/netqueue.py"])
+    if client_extra:
+        text = text.replace(
+            "class Broker:",
+            textwrap.indent(textwrap.dedent(client_extra), "    ") + "\nclass Broker:",
+        )
+    if dispatch_extra:
+        text = text.replace(
+            '        return {"ok": False, "error": "unknown op"}',
+            textwrap.indent(textwrap.dedent(dispatch_extra), "        ")
+            + '\n        return {"ok": False, "error": "unknown op"}',
+        )
+    return {"src/repro/analysis/netqueue.py": text}
+
+
+def test_rl009_flags_desynced_client_op(tmp_path):
+    """The regression the rule exists for: an op the client sends that
+    the broker's dispatch table silently lacks must fail the build."""
+    files = _netqueue(client_extra="""\
+        def vanish(self):
+            return self._call("vanish", {})
+        """)
+    syms = symbols(findings_for(tmp_path, files, "RL009"))
+    assert "op:vanish:unhandled" in syms
+
+
+def test_rl009_flags_dispatch_branch_nobody_sends(tmp_path):
+    files = _netqueue(dispatch_extra="""\
+        if op == "ghost":
+            return {"ok": True}
+        """)
+    syms = symbols(findings_for(tmp_path, files, "RL009"))
+    assert "op:ghost:unsent" in syms
+
+
+def test_rl009_cross_checks_field_sets(tmp_path):
+    files = _netqueue(client_extra="""\
+        def lease(self):
+            return self._call("lease", {"worker": "w", "typo_field": 1})
+        """, dispatch_extra="""\
+        if op == "lease":
+            return {"ok": True, "until": request["deadline"]}
+        """)
+    syms = symbols(findings_for(tmp_path, files, "RL009"))
+    # The handler requires a field the client never sends...
+    assert "op:lease:deadline:missing" in syms
+    # ...and the client sends fields the handler never reads.
+    assert "op:lease:typo_field:unread" in syms
+    assert "op:lease:worker:unread" in syms
+
+
+def test_rl009_follows_request_into_helpers(tmp_path):
+    # The scaffold's "fetch" op reads request["key"] inside a helper the
+    # dispatch branch forwards to; parity must see through that hop.
+    files = _netqueue()
+    assert findings_for(tmp_path, files, "RL009") == []
+
+
+def test_rl009_flags_dynamic_op_names(tmp_path):
+    files = _netqueue(client_extra="""\
+        def relay(self, op):
+            return self._call(op, {})
+        """)
+    syms = symbols(findings_for(tmp_path, files, "RL009"))
+    assert "NetQueue.relay:dynamic-op" in syms
+
+
+def test_rl009_line_pragma_suppresses(tmp_path):
+    files = _netqueue(client_extra="""\
+        def vanish(self):
+            return self._call("vanish", {})  # repro-lint: disable=RL009
+        """)
+    assert findings_for(tmp_path, files, "RL009") == []
+
+
+# ----------------------------------------------------------------------
+# RL010 — retry idempotency
+# ----------------------------------------------------------------------
+def test_rl010_flags_undeclared_and_stale_ops(tmp_path):
+    files = _netqueue(client_extra="""\
+        def rogue(self):
+            return self._call("rogue", {})
+        """)
+    files["src/repro/analysis/netqueue.py"] = files[
+        "src/repro/analysis/netqueue.py"
+    ].replace(
+        'IDEMPOTENT_OPS = frozenset({"ping", "fetch"})',
+        'IDEMPOTENT_OPS = frozenset({"ping", "fetch", "unused"})',
+    )
+    syms = symbols(findings_for(tmp_path, files, "RL010"))
+    # "rogue" runs under retry without an idempotency audit...
+    assert "op:rogue:undeclared" in syms
+    # ...and "unused" is an audit for an op nobody calls any more.
+    assert "op:unused:stale-manifest" in syms
+
+
+def test_rl010_missing_manifest_is_a_finding(tmp_path):
+    text = _SCAFFOLD["src/repro/analysis/netqueue.py"].replace(
+        'IDEMPOTENT_OPS = frozenset({"ping", "fetch"})', ""
+    )
+    files = {"src/repro/analysis/netqueue.py": text}
+    syms = symbols(findings_for(tmp_path, files, "RL010"))
+    assert "IDEMPOTENT_OPS:missing" in syms
+
+
+def test_rl010_flags_retry_loop_swallowing_app_errors(tmp_path):
+    text = _SCAFFOLD["src/repro/analysis/netqueue.py"].replace(
+        "except (OSError, ValueError):", "except Exception:"
+    )
+    files = {"src/repro/analysis/netqueue.py": text}
+    syms = symbols(findings_for(tmp_path, files, "RL010"))
+    assert "NetQueue._call:retries-app-error" in syms
+
+
+def test_rl010_flags_call_without_ok_check(tmp_path):
+    text = _SCAFFOLD["src/repro/analysis/netqueue.py"].replace(
+        """\
+                    if not response.get("ok", False):
+                        raise BrokerError(op)
+""",
+        "",
+    )
+    files = {"src/repro/analysis/netqueue.py": text}
+    syms = symbols(findings_for(tmp_path, files, "RL010"))
+    assert "NetQueue._call:no-ok-check" in syms
+
+
+# ----------------------------------------------------------------------
+# RL011 — fault-site symmetry
+# ----------------------------------------------------------------------
+def _faulted(sites: str, module: str, test_text: str) -> dict:
+    return {
+        "src/repro/common/faults.py": f"SITES = {sites}\n",
+        "src/repro/analysis/transport.py": module,
+        "tests/test_chaos.py": test_text,
+    }
+
+
+_BOTH_SIDES = """\
+    def client_io(fault_point, op, attempt):
+        fault_point("network", key=f"client|{op}", attempt=attempt)
+
+    def broker_io(fault_point, op, count):
+        fault_point("network", key=f"broker|{op}", attempt=count)
+    """
+
+
+def test_rl011_flags_one_sided_network_site(tmp_path):
+    files = _faulted(
+        sites='{"network": "socket faults"}',
+        module="""\
+            def client_io(fault_point, op, attempt):
+                fault_point("network", key=f"client|{op}", attempt=attempt)
+            """,
+        test_text='PLAN = "raise@network:match=client|claim"\n',
+    )
+    syms = symbols(findings_for(tmp_path, files, "RL011"))
+    assert "network:broker:uninjectable" in syms
+
+
+def test_rl011_flags_untested_side(tmp_path):
+    files = _faulted(
+        sites='{"network": "socket faults"}',
+        module=_BOTH_SIDES,
+        test_text='PLAN = "raise@network:match=client|claim"\n',  # no broker| plan
+    )
+    syms = symbols(findings_for(tmp_path, files, "RL011"))
+    assert "network:broker:untested" in syms
+    assert "network:client:untested" not in syms
+
+
+def test_rl011_both_sides_injected_and_tested_pass(tmp_path):
+    files = _faulted(
+        sites='{"network": "socket faults"}',
+        module=_BOTH_SIDES,
+        test_text=(
+            'A = "raise@network:match=client|claim"\n'
+            'B = "conn-reset@network:match=broker|submit"\n'
+        ),
+    )
+    assert findings_for(tmp_path, files, "RL011") == []
+
+
+def test_rl011_flags_unsided_network_key(tmp_path):
+    files = _faulted(
+        sites='{"network": "socket faults"}',
+        module="""\
+            def io(fault_point, op):
+                fault_point("network", key=op)
+            """,
+        test_text="",
+    )
+    syms = symbols(findings_for(tmp_path, files, "RL011"))
+    assert "network:unsided-key" in syms
+
+
+def test_rl011_pressure_requires_key_attempt_and_both_kinds(tmp_path):
+    files = _faulted(
+        sites='{"pressure": "resource pressure"}',
+        module="""\
+            def check(fault_point):
+                fault_point("pressure")
+            """,
+        test_text='PLAN = "enospc@pressure:attempts=1"\n',  # no mem-pressure plan
+    )
+    syms = symbols(findings_for(tmp_path, files, "RL011"))
+    assert "pressure:no-key" in syms
+    assert "pressure:no-attempt" in syms
+    assert "pressure:mem-pressure:untested" in syms
+    assert "pressure:enospc:untested" not in syms
+
+
+def test_rl011_fully_exercised_pressure_passes(tmp_path):
+    files = _faulted(
+        sites='{"pressure": "resource pressure"}',
+        module="""\
+            def check(fault_point, path, attempt):
+                fault_point("pressure", key=str(path), attempt=attempt)
+            """,
+        test_text=(
+            'A = "enospc@pressure:attempts=1"\n'
+            'B = "mem-pressure@pressure:attempts=1"\n'
+        ),
+    )
+    assert findings_for(tmp_path, files, "RL011") == []
+
+
+# ----------------------------------------------------------------------
+# RL012 — handle lifecycle
+# ----------------------------------------------------------------------
+def test_rl012_flags_leaked_local_handle(tmp_path):
+    files = {
+        "src/repro/analysis/workqueue.py": """\
+            import socket
+
+            def probe(host, port):
+                sock = socket.create_connection((host, port))
+                sock.sendall(b"hi")
+                return True
+            """,
+    }
+    syms = symbols(findings_for(tmp_path, files, "RL012"))
+    assert "probe:sock:leak" in syms
+
+
+def test_rl012_finally_close_return_and_park_all_pass(tmp_path):
+    files = {
+        "src/repro/analysis/workqueue.py": """\
+            import socket
+
+            def closed(host, port):
+                sock = socket.create_connection((host, port))
+                try:
+                    sock.sendall(b"hi")
+                finally:
+                    sock.close()
+
+            def transferred(path):
+                log = open(path, "a")
+                return log
+
+            class Keeper:
+                def __init__(self, host, port):
+                    sock = socket.create_connection((host, port))
+                    self._sock = sock
+
+                def __getstate__(self):
+                    return {}
+            """,
+    }
+    assert findings_for(tmp_path, files, "RL012") == []
+
+
+def test_rl012_with_statement_is_inherently_safe(tmp_path):
+    files = {
+        "src/repro/analysis/workqueue.py": """\
+            def read(path):
+                with open(path) as fh:
+                    return fh.read()
+            """,
+    }
+    assert findings_for(tmp_path, files, "RL012") == []
+
+
+def test_rl012_flags_unshed_handle_on_self(tmp_path):
+    files = {
+        "src/repro/analysis/workqueue.py": """\
+            class Journal:
+                def __init__(self, path):
+                    self.fh = open(path, "a")
+            """,
+    }
+    syms = symbols(findings_for(tmp_path, files, "RL012"))
+    assert "Journal.fh:unshed" in syms
+
+
+def test_rl012_ignores_non_boundary_modules(tmp_path):
+    files = {
+        "src/repro/analysis/report.py": """\
+            import socket
+
+            def probe(host, port):
+                sock = socket.create_connection((host, port))
+                sock.sendall(b"hi")
+            """,
+    }
+    assert findings_for(tmp_path, files, "RL012") == []
+
+
+def test_rl012_line_pragma_suppresses(tmp_path):
+    files = {
+        "src/repro/analysis/workqueue.py": """\
+            import socket
+
+            def probe(host, port):
+                sock = socket.create_connection((host, port))  # repro-lint: disable=RL012
+                sock.sendall(b"hi")
+            """,
+    }
+    assert findings_for(tmp_path, files, "RL012") == []
+
+
+# ----------------------------------------------------------------------
+# Self-check: the extractors agree with the committed transport
+# ----------------------------------------------------------------------
+def test_live_wire_protocol_is_in_parity():
+    """The committed client, dispatch table and idempotency manifest
+    describe the same op vocabulary — extracted, not imported."""
+    import ast
+
+    from repro.lint.flow import ConstEnv, client_calls, dispatch_table
+
+    project = load_project(REPO_ROOT)
+    mod = project.module("repro.analysis.netqueue")
+    assert mod is not None
+    client = broker = None
+    for node in ast.walk(mod.tree):
+        if isinstance(node, ast.ClassDef) and node.name == "NetQueue":
+            client = node
+        elif isinstance(node, ast.ClassDef) and node.name == "Broker":
+            broker = node
+    assert client is not None and broker is not None
+    ops = {c.op for c in client_calls(client) if c.op is not None}
+    dispatch = next(
+        item for item in broker.body
+        if isinstance(item, ast.FunctionDef) and item.name == "_dispatch"
+    )
+    assert ops == set(dispatch_table(dispatch).ops)
+    manifest = ConstEnv(project).resolve("repro.analysis.netqueue", "IDEMPOTENT_OPS")
+    assert manifest == frozenset(ops)
+    assert len(ops) >= 10  # the transport is not trivially empty
+
+
+def test_live_exit_codes_resolve_through_aliases():
+    from repro.lint.flow import ConstEnv
+
+    project = load_project(REPO_ROOT)
+    env = ConstEnv(project)
+    assert env.resolve("repro.analysis.supervisor", "WORKER_EXIT_PRESSURE") == 75
+    assert env.resolve("repro.analysis.exitcodes", "EXIT_CHAOS_DEATH") == 70
